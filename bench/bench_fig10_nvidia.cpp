@@ -1,0 +1,45 @@
+// Fig. 10: DGEMM and SGEMM implementations on the Fermi and Kepler GPUs:
+// this study (OpenCL) vs CUBLAS and MAGMA (CUDA).
+#include "bench_util.hpp"
+#include "blas/gemm.hpp"
+#include "vendor/baselines.hpp"
+
+using namespace gemmtune;
+using codegen::Precision;
+
+int main() {
+  for (Precision prec : {Precision::DP, Precision::SP}) {
+    bench::section(strf("Fig. 10 (%s NN): Fermi & Kepler implementations",
+                        to_string(prec)));
+    blas::GemmEngine fermi(simcl::DeviceId::Fermi);
+    blas::GemmEngine kepler(simcl::DeviceId::Kepler);
+    const auto& cublas_f = vendor::baseline_by_name(simcl::DeviceId::Fermi,
+                                                    prec, "NVIDIA CUBLAS");
+    const auto& magma = vendor::baseline_by_name(simcl::DeviceId::Fermi,
+                                                 prec, "MAGMA");
+    const auto& cublas_k = vendor::baseline_by_name(simcl::DeviceId::Kepler,
+                                                    prec, "NVIDIA CUBLAS");
+    bench::Series s_f{"This study (Fermi)", {}};
+    bench::Series s_k{"This study (Kepler)", {}};
+    bench::Series s_cf{"CUBLAS 4.1.28 (Fermi)", {}};
+    bench::Series s_m{"MAGMA 1.2.1 (Fermi)", {}};
+    bench::Series s_ck{"CUBLAS 5.0 RC (Kepler)", {}};
+    for (index_t n = 512; n <= 6144; n += 512) {
+      s_f.points.emplace_back(n,
+                              fermi.estimate_gflops(GemmType::NN, prec, n));
+      s_k.points.emplace_back(n,
+                              kepler.estimate_gflops(GemmType::NN, prec, n));
+      s_cf.points.emplace_back(
+          n, vendor::baseline_gflops(cublas_f, GemmType::NN, n));
+      s_m.points.emplace_back(
+          n, vendor::baseline_gflops(magma, GemmType::NN, n));
+      s_ck.points.emplace_back(
+          n, vendor::baseline_gflops(cublas_k, GemmType::NN, n));
+    }
+    bench::print_series({s_f, s_cf, s_m, s_k, s_ck});
+    bench::note(
+        "shape checks: our OpenCL curves are comparable to the CUDA "
+        "libraries on both GPUs.");
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fig. 8: relative performance of the three GEMM algorithms (BA, PL, DB)
+// with respect to the per-processor maximum (Table II).
+//
+// For each (processor, precision, algorithm) a constrained search selects
+// the best kernel using only that algorithm; its peak performance is
+// normalized by the overall best. DGEMM+PL on Bulldozer reports "fail",
+// matching the paper ("PL algorithm always fail to execute").
+#include "bench_util.hpp"
+#include "codegen/paper_kernels.hpp"
+#include "common/error.hpp"
+#include "tuner/search.hpp"
+
+using namespace gemmtune;
+using codegen::Algorithm;
+using codegen::Precision;
+
+int main() {
+  bench::section("Fig. 8: relative performance of BA / PL / DB");
+  TextTable t;
+  t.set_header({"Processor", "BA (DGEMM)", "PL (DGEMM)", "DB (DGEMM)",
+                "BA (SGEMM)", "PL (SGEMM)", "DB (SGEMM)"});
+  for (simcl::DeviceId id : simcl::evaluation_devices()) {
+    std::vector<std::string> row = {simcl::to_string(id)};
+    for (Precision prec : {Precision::DP, Precision::SP}) {
+      tuner::SearchEngine engine(id);
+      double best[3] = {0, 0, 0};
+      double overall = 0;
+      int i = 0;
+      for (Algorithm algo : {Algorithm::BA, Algorithm::PL, Algorithm::DB}) {
+        tuner::SearchOptions opt;
+        opt.enumeration.max_candidates = 4000;
+        opt.restrict_algo = algo;
+        try {
+          best[i] = engine.tune(prec, opt).best_gflops;
+        } catch (const Error&) {
+          best[i] = 0;  // every kernel of this algorithm failed
+        }
+        overall = std::max(overall, best[i]);
+        ++i;
+      }
+      for (int j = 0; j < 3; ++j)
+        row.push_back(best[j] == 0 ? "fail"
+                                   : strf("%.2f", best[j] / overall));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+  bench::note(
+      "paper shape: BA best on Tahiti; PL wins Fermi DGEMM; CPUs show small "
+      "variation; Bulldozer DGEMM PL fails.");
+  return 0;
+}

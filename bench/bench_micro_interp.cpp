@@ -1,0 +1,83 @@
+// Micro-benchmarks (google-benchmark): lockstep interpreter throughput on
+// generated GEMM kernels, and performance-model / search-engine evaluation
+// rates (the quantities that bound a full tuning run's wall-clock).
+#include <benchmark/benchmark.h>
+
+#include "codegen/gemm_generator.hpp"
+#include "codegen/paper_kernels.hpp"
+#include "kernelir/interp.hpp"
+#include "perfmodel/model.hpp"
+#include "simcl/runtime.hpp"
+
+using namespace gemmtune;
+using codegen::Precision;
+
+namespace {
+
+void BM_InterpretGemmKernel(benchmark::State& state) {
+  codegen::KernelParams p;
+  p.prec = Precision::DP;
+  p.Mwg = 16;
+  p.Nwg = 16;
+  p.Kwg = 8;
+  p.MdimC = p.NdimC = 8;
+  p.MdimA = p.NdimB = 8;
+  p.Kwi = 2;
+  p.vw = 2;
+  p.share_a = p.share_b = true;
+  const std::int64_t n = state.range(0);
+  const int es = element_bytes(p.prec);
+  auto dA = std::make_shared<simcl::Buffer>(
+      static_cast<std::size_t>(n * n * es));
+  auto dB = std::make_shared<simcl::Buffer>(
+      static_cast<std::size_t>(n * n * es));
+  auto dC = std::make_shared<simcl::Buffer>(
+      static_cast<std::size_t>(n * n * es));
+  ir::Kernel k = codegen::generate_gemm_kernel(p);
+  const auto geo = codegen::launch_geometry(p, n, n);
+  std::vector<ir::ArgValue> args(8);
+  args[codegen::GemmKernelArgs::C] = ir::ArgValue::of(dC);
+  args[codegen::GemmKernelArgs::A] = ir::ArgValue::of(dA);
+  args[codegen::GemmKernelArgs::B] = ir::ArgValue::of(dB);
+  args[codegen::GemmKernelArgs::M] = ir::ArgValue::of_int(n);
+  args[codegen::GemmKernelArgs::N] = ir::ArgValue::of_int(n);
+  args[codegen::GemmKernelArgs::K] = ir::ArgValue::of_int(n);
+  args[codegen::GemmKernelArgs::alpha] = ir::ArgValue::of_float(1.0);
+  args[codegen::GemmKernelArgs::beta] = ir::ArgValue::of_float(0.0);
+  std::uint64_t mads = 0;
+  for (auto _ : state) {
+    const auto c = ir::launch(k, geo.global, geo.local, args);
+    mads += c.mads;
+  }
+  state.counters["interp_mads/s"] = benchmark::Counter(
+      static_cast<double>(mads), benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_InterpretGemmKernel)->Arg(32)->Arg(64);
+
+void BM_GenerateKernel(benchmark::State& state) {
+  const auto p =
+      codegen::table2_entry(simcl::DeviceId::Tahiti, Precision::SP).params;
+  for (auto _ : state) {
+    ir::Kernel k = codegen::generate_gemm_kernel(p);
+    benchmark::DoNotOptimize(k.body.data());
+  }
+}
+
+BENCHMARK(BM_GenerateKernel);
+
+void BM_PerfModelEstimate(benchmark::State& state) {
+  perfmodel::PerfModel model(simcl::DeviceId::Tahiti);
+  const auto p =
+      codegen::table2_entry(simcl::DeviceId::Tahiti, Precision::DP).params;
+  (void)model.kernel_gflops(p, 4032);  // warm the anchor cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.kernel_gflops(p, 4032));
+  }
+}
+
+BENCHMARK(BM_PerfModelEstimate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

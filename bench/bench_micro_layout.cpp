@@ -1,0 +1,69 @@
+// Micro-benchmarks (google-benchmark): host packing throughput across the
+// three operand layouts, and the reference GEMM tiers.
+#include <benchmark/benchmark.h>
+
+#include "blas/hostblas.hpp"
+#include "common/rng.hpp"
+#include "layout/packing.hpp"
+
+using namespace gemmtune;
+
+namespace {
+
+void BM_PackA(benchmark::State& state, BlockLayout layout) {
+  const index_t M = state.range(0), K = state.range(0);
+  Rng rng(1);
+  Matrix<double> A(M, K);
+  A.fill_random(rng);
+  const auto e = packed_extents(M, 8, K, 32, 8, 16);
+  for (auto _ : state) {
+    auto buf = pack_a(A, Transpose::No, M, K, e.Mp, e.Kp, layout, 32, 16);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * M *
+                          K * static_cast<std::int64_t>(sizeof(double)));
+}
+
+void BM_PackA_RM(benchmark::State& s) { BM_PackA(s, BlockLayout::RowMajor); }
+void BM_PackA_CBL(benchmark::State& s) { BM_PackA(s, BlockLayout::CBL); }
+void BM_PackA_RBL(benchmark::State& s) { BM_PackA(s, BlockLayout::RBL); }
+
+BENCHMARK(BM_PackA_RM)->Arg(256)->Arg(512);
+BENCHMARK(BM_PackA_CBL)->Arg(256)->Arg(512);
+BENCHMARK(BM_PackA_RBL)->Arg(256)->Arg(512);
+
+void BM_HostGemm(benchmark::State& state, int tier) {
+  const index_t n = state.range(0);
+  Rng rng(2);
+  Matrix<double> A(n, n), B(n, n), C(n, n);
+  A.fill_random(rng);
+  B.fill_random(rng);
+  for (auto _ : state) {
+    if (tier == 0) {
+      hostblas::gemm_naive(Transpose::No, Transpose::No, n, n, n, 1.0, A, B,
+                           0.0, C);
+    } else if (tier == 1) {
+      hostblas::gemm_blocked(Transpose::No, Transpose::No, n, n, n, 1.0, A,
+                             B, 0.0, C);
+    } else {
+      hostblas::gemm_parallel(Transpose::No, Transpose::No, n, n, n, 1.0, A,
+                              B, 0.0, C);
+    }
+    benchmark::DoNotOptimize(C.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * n * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+
+void BM_HostGemmNaive(benchmark::State& s) { BM_HostGemm(s, 0); }
+void BM_HostGemmBlocked(benchmark::State& s) { BM_HostGemm(s, 1); }
+void BM_HostGemmParallel(benchmark::State& s) { BM_HostGemm(s, 2); }
+
+BENCHMARK(BM_HostGemmNaive)->Arg(128);
+BENCHMARK(BM_HostGemmBlocked)->Arg(128)->Arg(256);
+BENCHMARK(BM_HostGemmParallel)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

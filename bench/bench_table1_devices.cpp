@@ -1,0 +1,47 @@
+// Table I: processor specifications of the simulated devices.
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "simcl/device_registry.hpp"
+
+using namespace gemmtune;
+
+int main() {
+  bench::section("Table I: processor specification (simulated registry)");
+  TextTable t;
+  t.set_header({"Field", "Tahiti", "Cayman", "Kepler", "Fermi",
+                "Sandy Bridge", "Bulldozer"});
+  auto row = [&](const std::string& field, auto getter) {
+    std::vector<std::string> r = {field};
+    for (simcl::DeviceId id : simcl::evaluation_devices())
+      r.push_back(getter(simcl::device_spec(id)));
+    t.add_row(std::move(r));
+  };
+  using simcl::DeviceSpec;
+  row("Product name", [](const DeviceSpec& d) { return d.product_name; });
+  row("Core clock [GHz]",
+      [](const DeviceSpec& d) { return strf("%.3g", d.clock_ghz); });
+  row("Compute units",
+      [](const DeviceSpec& d) { return std::to_string(d.compute_units); });
+  row("Max DP ops/clock",
+      [](const DeviceSpec& d) { return std::to_string(d.dp_ops_per_clock); });
+  row("Max SP ops/clock",
+      [](const DeviceSpec& d) { return std::to_string(d.sp_ops_per_clock); });
+  row("Peak DP [GFlop/s]",
+      [](const DeviceSpec& d) { return fmt_gflops(d.peak_dp_gflops); });
+  row("Peak SP [GFlop/s]",
+      [](const DeviceSpec& d) { return fmt_gflops(d.peak_sp_gflops); });
+  row("Global memory [GB]",
+      [](const DeviceSpec& d) { return strf("%.3g", d.global_mem_gb); });
+  row("Memory BW [GB/s]",
+      [](const DeviceSpec& d) { return strf("%.4g", d.global_bw_gbs); });
+  row("Local memory [kB]",
+      [](const DeviceSpec& d) { return strf("%.3g", d.local_mem_kb); });
+  row("Local memory type", [](const DeviceSpec& d) {
+    return std::string(d.local_mem_kind == simcl::LocalMemKind::Scratchpad
+                           ? "Scratchpad"
+                           : "Global");
+  });
+  row("OpenCL SDK", [](const DeviceSpec& d) { return d.opencl_sdk; });
+  t.print(std::cout);
+  return 0;
+}

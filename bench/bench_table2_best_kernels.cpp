@@ -1,0 +1,63 @@
+// Table II: parameters of the fastest A^T*B kernel per processor and the
+// maximum observed performance, for DGEMM and SGEMM.
+//
+// Two rows per entry: the paper's parameter set evaluated through our
+// performance model (the calibration anchor), and the kernel our own
+// search engine selects under a bounded candidate budget.
+#include "bench_util.hpp"
+#include "codegen/paper_kernels.hpp"
+#include "tuner/results_db.hpp"
+
+using namespace gemmtune;
+using codegen::Precision;
+
+int main() {
+  for (Precision prec : {Precision::DP, Precision::SP}) {
+    bench::section(strf("Table II (%s): fastest kernels", to_string(prec)));
+    TextTable t;
+    t.set_header({"Processor", "Mwg,Nwg,Kwg", "Mwi,Nwi,Kwi", "dimC", "vw",
+                  "stride", "shared", "layout", "algo", "GFlop/s", "eff%",
+                  "source"});
+    for (simcl::DeviceId id : simcl::evaluation_devices()) {
+      const auto entry = codegen::table2_entry(id, prec);
+      const auto paper_profile = tuner::profile_kernel(id, entry.params);
+      const auto& dev = simcl::device_spec(id);
+      const double peak = prec == Precision::DP ? dev.peak_dp_gflops
+                                                : dev.peak_sp_gflops;
+      auto add = [&](const codegen::KernelParams& p, double gflops,
+                     const char* source) {
+        std::string stride, shared;
+        if (p.stride_m) stride += "M";
+        if (p.stride_n) stride += stride.empty() ? "N" : ",N";
+        if (p.share_a) shared += "A";
+        if (p.share_b) shared += shared.empty() ? "B" : ",B";
+        t.add_row({simcl::to_string(id),
+                   strf("%d,%d,%d", p.Mwg, p.Nwg, p.Kwg),
+                   strf("%d,%d,%d", p.Mwi(), p.Nwi(), p.Kwi),
+                   strf("%d,%d", p.MdimC, p.NdimC), std::to_string(p.vw),
+                   stride.empty() ? "-" : stride,
+                   shared.empty() ? "-" : shared,
+                   strf("%s,%s", to_string(p.layout_a),
+                        to_string(p.layout_b)),
+                   to_string(p.algo), fmt_gflops(gflops),
+                   strf("%.0f", 100.0 * gflops / peak), source});
+      };
+      add(entry.params, paper_profile.best_gflops, "paper params");
+      tuner::SearchEngine engine(id);
+      tuner::SearchOptions opt;
+      opt.enumeration.max_candidates = 8000;
+      const auto tuned = engine.tune(prec, opt);
+      add(tuned.params, tuned.best_gflops, "our search");
+      t.add_rule();
+    }
+    t.print(std::cout);
+    bench::note("paper-vs-model anchors:");
+    for (simcl::DeviceId id : simcl::evaluation_devices()) {
+      const auto entry = codegen::table2_entry(id, prec);
+      const auto prof = tuner::profile_kernel(id, entry.params);
+      bench::compare(simcl::to_string(id) + " " + to_string(prec),
+                     entry.max_gflops, prof.best_gflops);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Table III: maximum performance of our GEMM implementations (column-major
+// API, including the pack/copy overhead) against the vendor library on
+// each processor, for all four multiplication types and both precisions.
+#include "bench_util.hpp"
+#include "blas/gemm.hpp"
+#include "vendor/baselines.hpp"
+
+using namespace gemmtune;
+using codegen::Precision;
+
+namespace {
+
+// Maximum implementation-level performance over the stage-2 size range,
+// like the paper's "maximum performance" rows.
+double our_max(blas::GemmEngine& engine, GemmType type, Precision prec) {
+  double best = 0;
+  for (index_t n = 1024; n <= 8192; n += 512)
+    best = std::max(best, engine.estimate_gflops(type, prec, n));
+  return best;
+}
+
+// Paper Table III "Ours" values, for the comparison printout.
+constexpr double kPaperOurs[6][2][4] = {
+    // NN, NT, TN, TT per precision {DP, SP}
+    {{852, 855, 849, 851}, {2989, 3008, 2970, 2989}},  // Tahiti
+    {{568, 567, 565, 565}, {2060, 2096, 2037, 2074}},  // Cayman
+    {{127, 128, 127, 128}, {1399, 1417, 1382, 1399}},  // Kepler
+    {{366, 368, 363, 365}, {882, 888, 876, 882}},      // Fermi
+    {{60, 60, 60, 60}, {132, 133, 132, 133}},          // Sandy Bridge
+    {{36, 37, 36, 36}, {74, 78, 70, 74}},              // Bulldozer
+};
+
+}  // namespace
+
+int main() {
+  bench::section("Table III: our GEMM implementations vs vendor libraries");
+  TextTable t;
+  t.set_header({"Processor", "Impl.", "DGEMM NN", "NT", "TN", "TT",
+                "SGEMM NN", "NT", "TN", "TT"});
+  int di = 0;
+  for (simcl::DeviceId id : simcl::evaluation_devices()) {
+    blas::GemmEngine engine(id);
+    std::vector<std::string> ours = {simcl::to_string(id), "Ours"};
+    std::vector<std::string> vend = {"", ""};
+    for (Precision prec : {Precision::DP, Precision::SP}) {
+      const auto& vb = vendor::table3_vendor(id, prec);
+      vend[1] = "Vendor";
+      for (GemmType type : all_gemm_types()) {
+        ours.push_back(fmt_gflops(our_max(engine, type, prec)));
+        vend.push_back(fmt_gflops(vendor::baseline_gflops(vb, type, 8192)));
+      }
+    }
+    t.add_row(std::move(ours));
+    t.add_row(std::move(vend));
+    t.add_rule();
+    ++di;
+  }
+  t.print(std::cout);
+
+  bench::note("paper-vs-measured, our implementation (max over sizes):");
+  di = 0;
+  for (simcl::DeviceId id : simcl::evaluation_devices()) {
+    blas::GemmEngine engine(id);
+    int pi = 0;
+    for (Precision prec : {Precision::DP, Precision::SP}) {
+      int ti = 0;
+      for (GemmType type : all_gemm_types()) {
+        bench::compare(
+            simcl::to_string(id) + " " + to_string(prec) + " " +
+                to_string(type),
+            kPaperOurs[di][pi][ti], our_max(engine, type, prec));
+        ++ti;
+      }
+      ++pi;
+    }
+    ++di;
+  }
+  return 0;
+}

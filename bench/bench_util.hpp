@@ -1,0 +1,70 @@
+// Shared helpers for the table/figure reproduction harnesses.
+//
+// Every bench prints (a) the regenerated rows/series and (b) where the
+// paper states a number, a paper-vs-measured comparison line, so the output
+// can be pasted into EXPERIMENTS.md directly.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace gemmtune::bench {
+
+inline void section(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void note(const std::string& text) {
+  std::printf("%s\n", text.c_str());
+}
+
+/// Prints "label: paper=X measured=Y (ratio R)".
+inline void compare(const std::string& label, double paper,
+                    double measured) {
+  std::printf("  %-44s paper=%8s  measured=%8s  ratio=%.2f\n", label.c_str(),
+              fmt_gflops(paper).c_str(), fmt_gflops(measured).c_str(),
+              measured / paper);
+}
+
+/// One named series over problem sizes (a figure line).
+struct Series {
+  std::string name;
+  std::vector<std::pair<std::int64_t, double>> points;  // (N, GFlop/s)
+};
+
+/// Prints several series as one aligned table over the union of sizes.
+inline void print_series(const std::vector<Series>& series) {
+  std::vector<std::int64_t> sizes;
+  for (const auto& s : series)
+    for (const auto& [n, g] : s.points) {
+      if (std::find(sizes.begin(), sizes.end(), n) == sizes.end())
+        sizes.push_back(n);
+    }
+  std::sort(sizes.begin(), sizes.end());
+  TextTable t;
+  std::vector<std::string> header = {"N"};
+  for (const auto& s : series) header.push_back(s.name);
+  t.set_header(header);
+  for (std::int64_t n : sizes) {
+    std::vector<std::string> row = {std::to_string(n)};
+    for (const auto& s : series) {
+      double val = -1;
+      for (const auto& [pn, g] : s.points) {
+        if (pn == n) val = g;
+      }
+      row.push_back(val < 0 ? "-" : fmt_gflops(val));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(std::cout);
+}
+
+}  // namespace gemmtune::bench

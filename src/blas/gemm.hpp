@@ -1,0 +1,95 @@
+// Public GEMM API (paper Section IV-B).
+//
+// GemmEngine implements the paper's GEMM routines on a simulated device:
+// every multiplication type (NN/NT/TN/TT, column-major host matrices) is
+// performed by packing the operands into block-major, zero-padded device
+// buffers — transposing as needed — and running the device's tuned
+// C <- alpha*A^T*B + beta*C kernel, then unpacking the result.
+//
+// Two entry points:
+//  * gemm<T>(): functionally executes the real generated kernel through the
+//    lockstep interpreter on real data (use moderate sizes; interpretation
+//    costs real host time) and reports the simulated device timing.
+//  * estimate(): timing only, any size — this is what the benchmark
+//    harnesses sweep to regenerate the paper's figures.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "codegen/params.hpp"
+#include "layout/gemm_type.hpp"
+#include "layout/matrix.hpp"
+#include "perfmodel/model.hpp"
+#include "simcl/runtime.hpp"
+#include "tuner/results_db.hpp"
+
+namespace gemmtune::blas {
+
+/// Simulated-time breakdown of one GEMM call.
+struct GemmProfile {
+  double total_seconds = 0;
+  double copy_seconds = 0;    ///< pack A/B/C + unpack C (the O(N^2) part)
+  double kernel_seconds = 0;  ///< the tuned A^T*B kernel
+  double gflops = 0;          ///< 2*M*N*K / total_seconds
+  /// Maximum absolute error vs. the host reference; only filled by the
+  /// functional path when `verify` is requested.
+  double max_error = -1;
+  /// True when the copy-free direct kernel was used (the paper's future-
+  /// work extension for small sizes, Section V).
+  bool used_direct = false;
+};
+
+/// GEMM engine bound to one simulated device and a tuning database.
+class GemmEngine {
+ public:
+  /// Uses the given database; kernels for a precision are taken from it
+  /// (falling back to a paper-seeded profile on a miss).
+  explicit GemmEngine(simcl::DeviceId id);
+  GemmEngine(simcl::DeviceId id, tuner::TunedDatabase db);
+
+  simcl::DeviceId device_id() const { return id_; }
+  const perfmodel::PerfModel& model() const { return model_; }
+
+  /// The tuned kernel used for a precision.
+  const tuner::TunedKernel& kernel_for(codegen::Precision prec);
+
+  /// Functional GEMM: C <- alpha*op(A)*op(B) + beta*C on column-major host
+  /// matrices. Runs the generated kernel in the interpreter against SimCL
+  /// buffers; returns the simulated-time profile. With `verify` true, also
+  /// compares against the host reference and fills max_error.
+  template <typename T>
+  GemmProfile gemm(Transpose ta, Transpose tb, index_t M, index_t N,
+                   index_t K, T alpha, const Matrix<T>& A, const Matrix<T>& B,
+                   T beta, Matrix<T>& C, bool verify = false);
+
+  /// Timing-only GEMM estimate for an arbitrary problem size.
+  GemmProfile estimate(GemmType type, codegen::Precision prec, index_t M,
+                       index_t N, index_t K);
+
+  /// Convenience: estimated GFlop/s on a square problem.
+  double estimate_gflops(GemmType type, codegen::Precision prec, index_t n);
+
+  /// Enables/disables the copy-free small-size kernel (default on).
+  void set_direct_path(bool enabled) { direct_enabled_ = enabled; }
+
+ private:
+  GemmProfile profile_for(const codegen::KernelParams& p, index_t M,
+                          index_t N, index_t K);
+
+  /// Timing of the copy-free path, when the problem divides the tuned
+  /// blocking exactly; nullopt otherwise.
+  std::optional<GemmProfile> direct_profile_for(
+      const codegen::KernelParams& p, index_t M, index_t N, index_t K);
+
+  /// The tuned parameters adapted for in-place operands (vw = 1,
+  /// row-major-equivalent strided access for the model).
+  static codegen::KernelParams direct_params(const codegen::KernelParams& p);
+
+  simcl::DeviceId id_;
+  perfmodel::PerfModel model_;
+  tuner::TunedDatabase db_;
+  bool direct_enabled_ = true;
+};
+
+}  // namespace gemmtune::blas

@@ -1,0 +1,150 @@
+#include "clfront/lexer.hpp"
+
+#include <cctype>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace gemmtune::clfront {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuation we must not split.
+const char* kMulti[] = {"+=", "-=", "*=", "==", "<=", ">=", "&&", "||"};
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& s) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  int line = 1;
+  auto err = [&](const std::string& msg) {
+    fail(strf("lex error at line %d: %s", line, msg.c_str()));
+  };
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
+      const std::size_t end = s.find("*/", i + 2);
+      if (end == std::string::npos) err("unterminated comment");
+      for (std::size_t j = i; j < end; ++j)
+        if (s[j] == '\n') ++line;
+      i = end + 2;
+      continue;
+    }
+    if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
+      while (i < s.size() && s[i] != '\n') ++i;
+      continue;
+    }
+    // Preprocessor line.
+    if (c == '#') {
+      std::size_t end = s.find('\n', i);
+      if (end == std::string::npos) end = s.size();
+      Token t;
+      t.kind = TokKind::Pragma;
+      t.text = trim(s.substr(i, end - i));
+      t.line = line;
+      out.push_back(std::move(t));
+      i = end;
+      continue;
+    }
+    // Identifier / keyword.
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < s.size() && ident_char(s[j])) ++j;
+      Token t;
+      t.kind = TokKind::Ident;
+      t.text = s.substr(i, j - i);
+      t.line = line;
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    // Numeric literal.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < s.size() &&
+         std::isdigit(static_cast<unsigned char>(s[i + 1])))) {
+      std::size_t j = i;
+      bool is_float = false;
+      while (j < s.size() &&
+             (std::isdigit(static_cast<unsigned char>(s[j])) ||
+              s[j] == '.' || s[j] == 'e' || s[j] == 'E' ||
+              ((s[j] == '+' || s[j] == '-') && j > i &&
+               (s[j - 1] == 'e' || s[j - 1] == 'E')))) {
+        if (s[j] == '.' || s[j] == 'e' || s[j] == 'E') is_float = true;
+        ++j;
+      }
+      Token t;
+      t.line = line;
+      const std::string lit = s.substr(i, j - i);
+      if (is_float) {
+        t.kind = TokKind::FloatLit;
+        t.fval = std::stod(lit);
+        if (j < s.size() && (s[j] == 'f' || s[j] == 'F')) {
+          t.has_f_suffix = true;
+          ++j;
+        }
+      } else {
+        t.kind = TokKind::IntLit;
+        t.ival = std::stoll(lit);
+        if (j < s.size() && (s[j] == 'f' || s[j] == 'F')) {
+          // "2f" style literal: treat as float.
+          t.kind = TokKind::FloatLit;
+          t.fval = static_cast<double>(t.ival);
+          t.has_f_suffix = true;
+          ++j;
+        }
+      }
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    // Punctuation.
+    {
+      Token t;
+      t.kind = TokKind::Punct;
+      t.line = line;
+      bool matched = false;
+      for (const char* m : kMulti) {
+        const std::size_t len = std::char_traits<char>::length(m);
+        if (s.compare(i, len, m) == 0) {
+          t.text = m;
+          i += len;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        static const std::string kSingles = "+-*/%()[]{};,.<>=&|!?:";
+        if (kSingles.find(c) == std::string::npos)
+          err(strf("unexpected character '%c'", c));
+        t.text = std::string(1, c);
+        ++i;
+      }
+      out.push_back(std::move(t));
+    }
+  }
+  Token end;
+  end.kind = TokKind::End;
+  end.line = line;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace gemmtune::clfront

@@ -1,0 +1,37 @@
+// Lexer for the OpenCL C subset the code generator emits.
+//
+// Tokenizes identifiers, integer and floating literals (with the OpenCL
+// `f` suffix), punctuation, preprocessor lines, and skips comments. Used
+// by the parser (parser.hpp) that lowers generated kernel source back to
+// the kernel IR, closing the emit -> parse -> execute loop.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gemmtune::clfront {
+
+enum class TokKind {
+  End,
+  Ident,      ///< identifiers and keywords
+  IntLit,
+  FloatLit,   ///< has_f_suffix records the trailing 'f'
+  Punct,      ///< single/multi character punctuation, in `text`
+  Pragma,     ///< a whole '#...' line, in `text`
+};
+
+struct Token {
+  TokKind kind = TokKind::End;
+  std::string text;          ///< identifier / punctuation / pragma text
+  std::int64_t ival = 0;     ///< IntLit value
+  double fval = 0;           ///< FloatLit value
+  bool has_f_suffix = false; ///< FloatLit: trailing 'f'
+  int line = 0;              ///< 1-based source line (for diagnostics)
+};
+
+/// Tokenizes `source`; throws gemmtune::Error on malformed input.
+/// The result always ends with an End token.
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace gemmtune::clfront

@@ -1,0 +1,575 @@
+#include "clfront/parser.hpp"
+
+#include <map>
+#include <cstring>
+#include <optional>
+
+#include "clfront/lexer.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace gemmtune::clfront {
+
+using namespace gemmtune::ir;
+
+namespace {
+
+std::optional<Type> type_from_name(const std::string& name) {
+  if (name == "int") return i32();
+  for (const auto& [base, sc] :
+       {std::pair<std::string, Scalar>{"float", Scalar::F32},
+        std::pair<std::string, Scalar>{"double", Scalar::F64}}) {
+    if (name == base) return fp(sc, 1);
+    if (starts_with(name, base)) {
+      const std::string suffix = name.substr(base.size());
+      for (int lanes : {2, 4, 8, 16}) {
+        if (suffix == std::to_string(lanes)) return fp(sc, lanes);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<BuiltinFn> builtin_from_name(const std::string& name) {
+  if (name == "get_group_id") return BuiltinFn::GroupId;
+  if (name == "get_local_id") return BuiltinFn::LocalId;
+  if (name == "get_global_id") return BuiltinFn::GlobalId;
+  if (name == "get_local_size") return BuiltinFn::LocalSize;
+  if (name == "get_num_groups") return BuiltinFn::NumGroups;
+  return std::nullopt;
+}
+
+/// `vloadN` / `vstoreN` -> N; 0 when the identifier is something else.
+int vec_op_width(const std::string& name, const char* prefix) {
+  if (!starts_with(name, prefix)) return 0;
+  const std::string suffix = name.substr(std::strlen(prefix));
+  for (int lanes : {2, 4, 8, 16}) {
+    if (suffix == std::to_string(lanes)) return lanes;
+  }
+  return 0;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& source) : toks_(lex(source)) {}
+
+  /// Parses every kernel in the translation unit.
+  std::vector<Kernel> run_all() {
+    std::vector<Kernel> kernels;
+    while (true) {
+      while (peek().kind == TokKind::Pragma) ++pos_;
+      if (peek().kind == TokKind::End) break;
+      kernels.push_back(run_one());
+    }
+    check_at(!kernels.empty(), "no kernels in source");
+    return kernels;
+  }
+
+  Kernel run_one() {
+    // Per-kernel state.
+    builder_.reset();
+    symbols_.clear();
+    args_.clear();
+    expect_ident("__kernel");
+    // Optional attribute.
+    std::int64_t reqd[2] = {0, 0};
+    if (peek_is_ident("__attribute__")) {
+      ++pos_;
+      expect_punct("(");
+      expect_punct("(");
+      expect_ident("reqd_work_group_size");
+      expect_punct("(");
+      reqd[0] = expect_int();
+      expect_punct(",");
+      reqd[1] = expect_int();
+      expect_punct(",");
+      check_at(expect_int() == 1, "third work-group dimension must be 1");
+      expect_punct(")");
+      expect_punct(")");
+      expect_punct(")");
+    }
+    expect_ident("void");
+    const std::string name = expect_any_ident();
+    // Parameters determine the kernel precision (first fp element type).
+    std::vector<ArgInfo> args;
+    expect_punct("(");
+    if (!peek_is_punct(")")) {
+      while (true) {
+        args.push_back(parse_param());
+        if (peek_is_punct(",")) {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+    }
+    expect_punct(")");
+    Scalar precision = Scalar::F64;
+    for (const auto& a : args) {
+      if (a.elem != Scalar::I32) {
+        precision = a.elem;
+        break;
+      }
+    }
+    builder_.emplace(name, precision);
+    for (const auto& a : args) {
+      const int idx = builder_->add_arg(a.name, a.kind, a.elem);
+      args_.emplace(a.name, std::pair<int, ArgInfo>{idx, a});
+    }
+    builder_->set_reqd_local(reqd[0], reqd[1]);
+
+    expect_punct("{");
+    parse_declarations();
+    for (auto& s : parse_statements()) builder_->append(std::move(s));
+    expect_punct("}");
+    return builder_->build();
+  }
+
+ private:
+  // ---- token helpers ---------------------------------------------------------
+
+  const Token& peek(int ahead = 0) const {
+    const std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  bool peek_is_punct(const std::string& p, int ahead = 0) const {
+    return peek(ahead).kind == TokKind::Punct && peek(ahead).text == p;
+  }
+  bool peek_is_ident(const std::string& s, int ahead = 0) const {
+    return peek(ahead).kind == TokKind::Ident && peek(ahead).text == s;
+  }
+  [[noreturn]] void err(const std::string& msg) const {
+    fail(strf("parse error at line %d: %s (near '%s')", peek().line,
+              msg.c_str(), peek().text.c_str()));
+  }
+  void check_at(bool cond, const std::string& msg) const {
+    if (!cond) err(msg);
+  }
+  void expect_punct(const std::string& p) {
+    check_at(peek_is_punct(p), "expected '" + p + "'");
+    ++pos_;
+  }
+  void expect_ident(const std::string& s) {
+    check_at(peek_is_ident(s), "expected '" + s + "'");
+    ++pos_;
+  }
+  std::string expect_any_ident() {
+    check_at(peek().kind == TokKind::Ident, "expected identifier");
+    return toks_[pos_++].text;
+  }
+  std::int64_t expect_int() {
+    check_at(peek().kind == TokKind::IntLit, "expected integer literal");
+    return toks_[pos_++].ival;
+  }
+
+  // ---- declarations -------------------------------------------------------------
+
+  ArgInfo parse_param() {
+    ArgInfo a;
+    if (peek_is_ident("__global")) {
+      ++pos_;
+      bool is_const = false;
+      if (peek_is_ident("const")) {
+        is_const = true;
+        ++pos_;
+      }
+      const auto t = type_from_name(expect_any_ident());
+      check_at(t.has_value() && t->lanes == 1, "bad pointer element type");
+      expect_punct("*");
+      a.kind = is_const ? ArgKind::GlobalConstPtr : ArgKind::GlobalPtr;
+      a.elem = t->scalar;
+      a.name = expect_any_ident();
+      return a;
+    }
+    expect_ident("const");
+    const auto t = type_from_name(expect_any_ident());
+    check_at(t.has_value() && t->lanes == 1, "bad scalar parameter type");
+    a.kind = t->scalar == Scalar::I32 ? ArgKind::Int : ArgKind::Float;
+    a.elem = t->scalar;
+    a.name = expect_any_ident();
+    return a;
+  }
+
+  void parse_declarations() {
+    while (true) {
+      const bool is_local = peek_is_ident("__local");
+      const int type_at = is_local ? 1 : 0;
+      if (peek(type_at).kind != TokKind::Ident) return;
+      const auto t = type_from_name(peek(type_at).text);
+      if (!t) return;  // not a declaration: statements begin
+      pos_ += static_cast<std::size_t>(type_at) + 1;
+      const std::string name = expect_any_ident();
+      if (peek_is_punct("[")) {
+        ++pos_;
+        const std::int64_t len = expect_int();
+        expect_punct("]");
+        check_at(t->lanes == 1, "array element must be scalar");
+        const int slot = builder_->decl_array(
+            name, t->scalar, static_cast<int>(len),
+            is_local ? AddrSpace::Local : AddrSpace::Private);
+        symbols_.emplace(name, slot);
+      } else {
+        check_at(!is_local, "__local scalars unsupported");
+        const int slot = builder_->decl_var(name, *t);
+        symbols_.emplace(name, slot);
+      }
+      expect_punct(";");
+    }
+  }
+
+  // ---- statements -----------------------------------------------------------------
+
+  std::vector<StmtPtr> parse_statements() {
+    std::vector<StmtPtr> out;
+    while (!peek_is_punct("}") && peek().kind != TokKind::End) {
+      out.push_back(parse_statement());
+    }
+    return out;
+  }
+
+  StmtPtr parse_statement() {
+    // for loop
+    if (peek_is_ident("for")) return parse_for();
+    // if statement
+    if (peek_is_ident("if")) {
+      ++pos_;
+      expect_punct("(");
+      ExprPtr cond = parse_expr();
+      expect_punct(")");
+      expect_punct("{");
+      std::vector<StmtPtr> body = parse_statements();
+      expect_punct("}");
+      return if_then(std::move(cond), std::move(body));
+    }
+    // barrier
+    if (peek_is_ident("barrier")) {
+      ++pos_;
+      expect_punct("(");
+      expect_ident("CLK_LOCAL_MEM_FENCE");
+      expect_punct(")");
+      expect_punct(";");
+      return barrier();
+    }
+    // vstoreN(value, 0, base + index);
+    if (peek().kind == TokKind::Ident) {
+      const int lanes = vec_op_width(peek().text, "vstore");
+      if (lanes > 0) {
+        ++pos_;
+        expect_punct("(");
+        ExprPtr value = parse_expr();
+        check_at(value->type.lanes == lanes, "vstore width mismatch");
+        expect_punct(",");
+        check_at(expect_int() == 0, "vstore offset must be 0");
+        expect_punct(",");
+        const std::string base = expect_any_ident();
+        expect_punct("+");
+        ExprPtr index = parse_expr();
+        expect_punct(")");
+        expect_punct(";");
+        return make_store(base, std::move(index), std::move(value));
+      }
+    }
+    // assignment: ident = expr;   or   ident[expr] = expr;
+    const std::string name = expect_any_ident();
+    if (peek_is_punct("[")) {
+      ++pos_;
+      ExprPtr index = parse_expr();
+      expect_punct("]");
+      expect_punct("=");
+      ExprPtr value = parse_expr();
+      expect_punct(";");
+      check_at(value->type.lanes == 1, "scalar store expected");
+      return make_store(name, std::move(index), std::move(value));
+    }
+    expect_punct("=");
+    ExprPtr value = parse_expr();
+    expect_punct(";");
+    const auto it = symbols_.find(name);
+    check_at(it != symbols_.end(), "assignment to unknown variable " + name);
+    return assign(it->second, std::move(value));
+  }
+
+  StmtPtr parse_for() {
+    expect_ident("for");
+    expect_punct("(");
+    const std::string var = expect_any_ident();
+    const auto it = symbols_.find(var);
+    check_at(it != symbols_.end(), "undeclared loop variable " + var);
+    expect_punct("=");
+    ExprPtr init = parse_expr();
+    expect_punct(";");
+    expect_ident(var);
+    expect_punct("<");
+    ExprPtr limit = parse_expr();
+    expect_punct(";");
+    expect_ident(var);
+    expect_punct("+=");
+    ExprPtr step = parse_expr();
+    expect_punct(")");
+    expect_punct("{");
+    std::vector<StmtPtr> body = parse_statements();
+    expect_punct("}");
+    return for_loop(it->second, std::move(init), std::move(limit),
+                    std::move(step), std::move(body));
+  }
+
+  StmtPtr make_store(const std::string& base, ExprPtr index, ExprPtr value) {
+    if (const auto sym = symbols_.find(base); sym != symbols_.end()) {
+      const Symbol& s = builder_->symbol(sym->second);
+      check_at(s.array_len > 0, base + " is not an array");
+      return s.space == AddrSpace::Local
+                 ? store_local(sym->second, std::move(index),
+                               std::move(value))
+                 : store_private(sym->second, std::move(index),
+                                 std::move(value));
+    }
+    if (const auto arg = args_.find(base); arg != args_.end()) {
+      return store_global(arg->second.first, std::move(index),
+                          std::move(value));
+    }
+    err("store to unknown symbol " + base);
+  }
+
+  // ---- expressions ---------------------------------------------------------------
+  // Standard C precedence for the operators we emit, lowest to highest:
+  // ?: over && over < over (+, -) over (*, /, %).
+
+  ExprPtr parse_expr() { return parse_ternary(); }
+
+  ExprPtr parse_ternary() {
+    ExprPtr e = parse_logical_and();
+    if (!peek_is_punct("?")) return e;
+    ++pos_;
+    ExprPtr a = parse_ternary();
+    expect_punct(":");
+    ExprPtr b = parse_ternary();
+    return select(std::move(e), std::move(a), std::move(b));
+  }
+
+  ExprPtr parse_logical_and() {
+    ExprPtr e = parse_relational();
+    while (peek_is_punct("&&")) {
+      ++pos_;
+      ExprPtr rhs = parse_relational();
+      check_at(!e->type.is_fp() && !rhs->type.is_fp(),
+               "&& requires integer operands");
+      e = bin(BinOp::And, std::move(e), std::move(rhs));
+    }
+    return e;
+  }
+
+  ExprPtr parse_relational() {
+    ExprPtr e = parse_additive();
+    while (peek_is_punct("<")) {
+      ++pos_;
+      ExprPtr rhs = parse_additive();
+      check_at(!e->type.is_fp() && !rhs->type.is_fp(),
+               "< requires integer operands");
+      e = bin(BinOp::Lt, std::move(e), std::move(rhs));
+    }
+    return e;
+  }
+
+  ExprPtr parse_additive() {
+    ExprPtr lhs = parse_multiplicative();
+    while (peek_is_punct("+") || peek_is_punct("-")) {
+      const bool add = peek().text == "+";
+      ++pos_;
+      ExprPtr rhs = parse_multiplicative();
+      lhs = combine(add ? '+' : '-', std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_multiplicative() {
+    ExprPtr lhs = parse_postfix();
+    while (peek_is_punct("*") || peek_is_punct("/") || peek_is_punct("%")) {
+      const char op = peek().text[0];
+      ++pos_;
+      ExprPtr rhs = parse_postfix();
+      lhs = combine(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  ExprPtr combine(char op, ExprPtr lhs, ExprPtr rhs) {
+    const bool fp_op = lhs->type.is_fp();
+    check_at(fp_op == rhs->type.is_fp(), "mixed int/float arithmetic");
+    switch (op) {
+      case '+': return bin(fp_op ? BinOp::FAdd : BinOp::Add, lhs, rhs);
+      case '-': return bin(fp_op ? BinOp::FSub : BinOp::Sub, lhs, rhs);
+      case '*': return bin(fp_op ? BinOp::FMul : BinOp::Mul, lhs, rhs);
+      case '/':
+        check_at(!fp_op, "floating division unsupported");
+        return bin(BinOp::Div, lhs, rhs);
+      case '%':
+        check_at(!fp_op, "floating modulo unsupported");
+        return bin(BinOp::Mod, lhs, rhs);
+    }
+    err("bad operator");
+  }
+
+  /// Postfix handles component access on a primary: (expr).s3
+  ExprPtr parse_postfix() {
+    ExprPtr e = parse_primary();
+    while (peek_is_punct(".")) {
+      ++pos_;
+      const std::string comp = expect_any_ident();
+      check_at(comp.size() == 2 && comp[0] == 's', "expected .s<lane>");
+      const char h = comp[1];
+      int lane_idx = -1;
+      if (h >= '0' && h <= '9') lane_idx = h - '0';
+      if (h >= 'a' && h <= 'f') lane_idx = h - 'a' + 10;
+      check_at(lane_idx >= 0, "bad component letter");
+      e = lane(std::move(e), lane_idx);
+    }
+    return e;
+  }
+
+  ExprPtr parse_primary() {
+    // Unary minus: negate literals directly, otherwise 0 - x.
+    if (peek_is_punct("-")) {
+      ++pos_;
+      ExprPtr inner = parse_postfix();
+      const Type t = inner->type;  // read before moving: argument order
+      if (t.is_fp())
+        return bin(BinOp::FSub, fconst(0.0, fp(t.scalar, t.lanes)),
+                   std::move(inner));
+      return bin(BinOp::Sub, iconst(0), std::move(inner));
+    }
+    const Token& t = peek();
+    if (t.kind == TokKind::IntLit) {
+      ++pos_;
+      return iconst(t.ival);
+    }
+    if (t.kind == TokKind::FloatLit) {
+      ++pos_;
+      return fconst(t.fval, fp(t.has_f_suffix ? Scalar::F32 : Scalar::F64, 1));
+    }
+    if (t.kind == TokKind::Punct && t.text == "(") {
+      // Three shapes: (type)(expr) cast/splat, or parenthesized expr.
+      if (peek(1).kind == TokKind::Ident && peek_is_punct(")", 2)) {
+        if (const auto ty = type_from_name(peek(1).text)) {
+          pos_ += 3;  // ( type )
+          // The operand is a postfix expression: a parenthesized
+          // expression for splats ((double4)(x)) or a bare call for
+          // builtin casts ((int)get_global_id(0)).
+          ExprPtr inner = parse_postfix();
+          if (ty->scalar == Scalar::I32) {
+            check_at(!inner->type.is_fp(), "float-to-int cast unsupported");
+            return inner;  // (int) cast of an int expression: no-op
+          }
+          if (inner->type.is_fp()) {
+            if (ty->lanes > 1 && inner->type.lanes == 1)
+              return splat(std::move(inner), ty->lanes);
+            check_at(inner->type == *ty, "vector cast width mismatch");
+            return inner;
+          }
+          err("numeric cast of integer to float unsupported");
+        }
+      }
+      ++pos_;
+      ExprPtr e = parse_expr();
+      expect_punct(")");
+      return e;
+    }
+    check_at(t.kind == TokKind::Ident, "expected expression");
+    const std::string name = t.text;
+    // mad(a, b, c)
+    if (name == "mad") {
+      ++pos_;
+      expect_punct("(");
+      ExprPtr a = parse_expr();
+      expect_punct(",");
+      ExprPtr b = parse_expr();
+      expect_punct(",");
+      ExprPtr c = parse_expr();
+      expect_punct(")");
+      return mad(std::move(a), std::move(b), std::move(c));
+    }
+    // vloadN(0, base + index)
+    if (const int lanes = vec_op_width(name, "vload")) {
+      ++pos_;
+      expect_punct("(");
+      check_at(expect_int() == 0, "vload offset must be 0");
+      expect_punct(",");
+      const std::string base = expect_any_ident();
+      expect_punct("+");
+      ExprPtr index = parse_expr();
+      expect_punct(")");
+      return make_load(base, std::move(index), lanes);
+    }
+    // builtin call (usually behind an (int) cast, but accept bare too)
+    if (const auto fn = builtin_from_name(name)) {
+      ++pos_;
+      expect_punct("(");
+      const std::int64_t dim = expect_int();
+      expect_punct(")");
+      return builtin(*fn, static_cast<int>(dim));
+    }
+    ++pos_;
+    // indexed load: name[expr]
+    if (peek_is_punct("[")) {
+      ++pos_;
+      ExprPtr index = parse_expr();
+      expect_punct("]");
+      return make_load(name, std::move(index), 1);
+    }
+    // plain variable or scalar argument
+    if (const auto sym = symbols_.find(name); sym != symbols_.end()) {
+      const Symbol& s = builder_->symbol(sym->second);
+      check_at(s.array_len == 0, name + " is an array; index it");
+      return builder_->ref(sym->second);
+    }
+    if (const auto arg = args_.find(name); arg != args_.end()) {
+      const ArgInfo& info = arg->second.second;
+      check_at(info.kind == ArgKind::Int || info.kind == ArgKind::Float,
+               "pointer argument used as value");
+      return arg_ref(arg->second.first,
+                     info.kind == ArgKind::Int ? i32() : fp(info.elem, 1));
+    }
+    err("unknown identifier " + name);
+  }
+
+  ExprPtr make_load(const std::string& base, ExprPtr index, int lanes) {
+    if (const auto sym = symbols_.find(base); sym != symbols_.end()) {
+      const Symbol& s = builder_->symbol(sym->second);
+      check_at(s.array_len > 0, base + " is not an array");
+      const Type t = fp(s.type.scalar, lanes);
+      return s.space == AddrSpace::Local
+                 ? load_local(sym->second, std::move(index), t)
+                 : load_private(sym->second, std::move(index), t);
+    }
+    if (const auto arg = args_.find(base); arg != args_.end()) {
+      const ArgInfo& info = arg->second.second;
+      check_at(info.kind == ArgKind::GlobalPtr ||
+                   info.kind == ArgKind::GlobalConstPtr,
+               base + " is not a pointer argument");
+      return load_global(arg->second.first, std::move(index),
+                         fp(info.elem, lanes));
+    }
+    err("load from unknown symbol " + base);
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+  std::optional<KernelBuilder> builder_;
+  std::map<std::string, int> symbols_;                      // name -> slot
+  std::map<std::string, std::pair<int, ArgInfo>> args_;     // name -> (idx, info)
+};
+
+}  // namespace
+
+ir::Kernel parse_kernel(const std::string& source) {
+  auto kernels = Parser(source).run_all();
+  check(kernels.size() == 1,
+        "parse_kernel: source contains " + std::to_string(kernels.size()) +
+            " kernels; use parse_program");
+  return std::move(kernels.front());
+}
+
+std::vector<ir::Kernel> parse_program(const std::string& source) {
+  return Parser(source).run_all();
+}
+
+}  // namespace gemmtune::clfront

@@ -1,0 +1,38 @@
+// Parser for the OpenCL C subset the code generator emits, lowering kernel
+// source back into the kernel IR.
+//
+// Together with the emitter this closes the loop: for any generated kernel
+// K, parse(emit(K)) is an IR kernel that executes identically (same
+// results, same dynamic counters) — the property the round-trip tests
+// verify for every Table II kernel. It also serves as SimCL's "compiler"
+// front-end: OpenCL text in, executable kernel out.
+//
+// Supported subset (everything emit.cpp can print):
+//   * one __kernel function, optional fp64 pragma, optional
+//     reqd_work_group_size attribute,
+//   * parameters: __global [const] T*, const int, const T,
+//   * declarations: __local arrays, private arrays, scalar/vector
+//     variables,
+//   * statements: assignment, scalar/vector stores (vstoreN), canonical
+//     for loops, barrier(CLK_LOCAL_MEM_FENCE), comments,
+//   * expressions: literals, variables, array/global indexing, vloadN,
+//     mad(), component access (.sK), (int)get_*(d) builtins, vector
+//     splats ((typeN)(x)), and +,-,*,/,% with C precedence.
+#pragma once
+
+#include <string>
+
+#include "kernelir/kernel.hpp"
+
+namespace gemmtune::clfront {
+
+/// Parses OpenCL C source containing exactly one kernel.
+/// Throws gemmtune::Error with a line-numbered message on any construct
+/// outside the supported subset.
+ir::Kernel parse_kernel(const std::string& source);
+
+/// Parses a translation unit containing one or more kernels (a "program"
+/// in OpenCL terms). Pragmas may appear between kernels.
+std::vector<ir::Kernel> parse_program(const std::string& source);
+
+}  // namespace gemmtune::clfront

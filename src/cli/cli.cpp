@@ -1,0 +1,218 @@
+#include "cli/cli.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "blas/gemm.hpp"
+#include "blas/hostblas.hpp"
+#include "clfront/parser.hpp"
+#include "codegen/gemm_generator.hpp"
+#include "codegen/paper_kernels.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "kernelir/emit.hpp"
+#include "tuner/results_db.hpp"
+#include "vendor/baselines.hpp"
+
+namespace gemmtune::cli {
+
+namespace {
+
+using codegen::Precision;
+
+Precision parse_precision(const std::string& s) {
+  if (s == "DGEMM" || s == "dgemm") return Precision::DP;
+  if (s == "SGEMM" || s == "sgemm") return Precision::SP;
+  fail("unknown precision '" + s + "' (use DGEMM or SGEMM)");
+}
+
+GemmType parse_type(const std::string& s) {
+  for (GemmType t : all_gemm_types()) {
+    if (s == to_string(t)) return t;
+  }
+  fail("unknown GEMM type '" + s + "' (use NN, NT, TN or TT)");
+}
+
+int cmd_devices(std::ostream& out) {
+  TextTable t;
+  t.set_header({"Device", "Type", "Clock GHz", "CUs", "Peak DP", "Peak SP",
+                "BW GB/s", "Local kB"});
+  for (simcl::DeviceId id : simcl::all_devices()) {
+    const auto& d = simcl::device_spec(id);
+    t.add_row({d.code_name, d.is_gpu() ? "GPU" : "CPU",
+               strf("%.3g", d.clock_ghz), std::to_string(d.compute_units),
+               fmt_gflops(d.peak_dp_gflops), fmt_gflops(d.peak_sp_gflops),
+               strf("%.4g", d.global_bw_gbs), strf("%.3g", d.local_mem_kb)});
+  }
+  t.print(out);
+  return 0;
+}
+
+int cmd_emit(const std::vector<std::string>& args, std::ostream& out) {
+  check(args.size() >= 2, "usage: emit <device> <DGEMM|SGEMM>");
+  const auto id = simcl::device_by_name(args[0]);
+  const auto entry = codegen::table2_entry(id, parse_precision(args[1]));
+  out << "// " << entry.params.summary() << "\n";
+  out << ir::emit_opencl(codegen::generate_gemm_kernel(entry.params));
+  return 0;
+}
+
+int cmd_compile(const std::vector<std::string>& args, std::ostream& out) {
+  check(args.size() >= 1, "usage: compile <file.cl>");
+  std::ifstream f(args[0]);
+  check(f.good(), "cannot open " + args[0]);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  const ir::Kernel k = clfront::parse_kernel(ss.str());
+  out << "kernel: " << k.name << "\n";
+  out << "arguments: " << k.args.size() << "\n";
+  out << "symbols: " << k.symbols.size() << "\n";
+  out << "local memory: " << k.local_mem_bytes() << " bytes\n";
+  out << "private elements/work-item: " << k.private_scalars() << "\n";
+  if (k.reqd_local[0] > 0)
+    out << strf("required work-group: %lld x %lld\n",
+                static_cast<long long>(k.reqd_local[0]),
+                static_cast<long long>(k.reqd_local[1]));
+  return 0;
+}
+
+int cmd_tune(const std::vector<std::string>& args, std::ostream& out) {
+  check(args.size() >= 2, "usage: tune <device> <DGEMM|SGEMM> [budget] [out.json]");
+  const auto id = simcl::device_by_name(args[0]);
+  const Precision prec = parse_precision(args[1]);
+  tuner::SearchOptions opt;
+  if (args.size() >= 3) opt.enumeration.max_candidates = std::stoi(args[2]);
+  tuner::SearchEngine engine(id);
+  tuner::SearchStats stats;
+  const auto best = engine.tune(prec, opt, &stats);
+  out << "evaluated " << stats.stage1_evaluated << " kernels ("
+      << stats.stage1_failed << " failed), stage-2 points "
+      << stats.stage2_points << "\n";
+  out << "best: " << best.params.summary() << "\n";
+  out << strf("best performance: %.1f GFlop/s at N=%lld\n", best.best_gflops,
+              static_cast<long long>(best.best_n));
+  const auto paper = codegen::table2_entry(id, prec);
+  out << strf("paper Table II: %.1f GFlop/s (ratio %.2f)\n", paper.max_gflops,
+              best.best_gflops / paper.max_gflops);
+  if (args.size() >= 4) {
+    tuner::TunedDatabase db;
+    db.put(id, prec, best);
+    db.save_file(args[3]);
+    out << "saved to " << args[3] << "\n";
+  }
+  return 0;
+}
+
+int cmd_estimate(const std::vector<std::string>& args, std::ostream& out) {
+  check(args.size() >= 4,
+        "usage: estimate <device> <DGEMM|SGEMM> <NN|NT|TN|TT> <n>");
+  const auto id = simcl::device_by_name(args[0]);
+  const Precision prec = parse_precision(args[1]);
+  const GemmType type = parse_type(args[2]);
+  const index_t n = std::stoll(args[3]);
+  blas::GemmEngine engine(id);
+  const auto prof = engine.estimate(type, prec, n, n, n);
+  out << strf("%s %s %s N=%lld: %.1f GFlop/s (%s; copy %.3f ms, kernel "
+              "%.3f ms)\n",
+              args[0].c_str(), to_string(prec), to_string(type),
+              static_cast<long long>(n), prof.gflops,
+              prof.used_direct ? "direct kernel" : "copy + tuned kernel",
+              prof.copy_seconds * 1e3, prof.kernel_seconds * 1e3);
+  const auto& vb = vendor::table3_vendor(id, prec);
+  out << strf("vendor (%s): %.1f GFlop/s\n", vb.name.c_str(),
+              vendor::baseline_gflops(vb, type, n));
+  return 0;
+}
+
+int cmd_sweep(const std::vector<std::string>& args, std::ostream& out) {
+  check(args.size() >= 3, "usage: sweep <device> <DGEMM|SGEMM> <maxN>");
+  const auto id = simcl::device_by_name(args[0]);
+  const Precision prec = parse_precision(args[1]);
+  const std::int64_t max_n = std::stoll(args[2]);
+  tuner::SearchEngine engine(id);
+  const auto p = codegen::table2_entry(id, prec).params;
+  TextTable t;
+  t.set_header({"N", "GFlop/s"});
+  for (const auto& [n, g] : engine.sweep(p, max_n))
+    t.add_row({std::to_string(n), fmt_gflops(g)});
+  t.print(out);
+  return 0;
+}
+
+int cmd_verify(const std::vector<std::string>& args, std::ostream& out) {
+  check(args.size() >= 5,
+        "usage: verify <device> <DGEMM|SGEMM> <M> <N> <K>");
+  const auto id = simcl::device_by_name(args[0]);
+  const Precision prec = parse_precision(args[1]);
+  const index_t M = std::stoll(args[2]);
+  const index_t N = std::stoll(args[3]);
+  const index_t K = std::stoll(args[4]);
+  check(M > 0 && N > 0 && K > 0 && M <= 512 && N <= 512 && K <= 512,
+        "sizes must be in [1, 512] (functional execution is interpreted)");
+  blas::GemmEngine engine(id);
+  Rng rng(2026);
+  double err, tol;
+  if (prec == Precision::DP) {
+    Matrix<double> A(M, K), B(K, N), C(M, N);
+    A.fill_random(rng);
+    B.fill_random(rng);
+    C.fill_random(rng);
+    const auto prof = engine.gemm(Transpose::No, Transpose::No, M, N, K,
+                                  1.5, A, B, -0.5, C, true);
+    err = prof.max_error;
+    tol = hostblas::gemm_tolerance<double>(K);
+  } else {
+    Matrix<float> A(M, K), B(K, N), C(M, N);
+    A.fill_random(rng);
+    B.fill_random(rng);
+    C.fill_random(rng);
+    const auto prof = engine.gemm(Transpose::No, Transpose::No, M, N, K,
+                                  1.5f, A, B, -0.5f, C, true);
+    err = prof.max_error;
+    tol = hostblas::gemm_tolerance<float>(K);
+  }
+  out << strf("max |error| = %.3e (tolerance %.3e): %s\n", err, tol,
+              err <= tol ? "PASS" : "FAIL");
+  return err <= tol ? 0 : 1;
+}
+
+int usage(std::ostream& out) {
+  out << "usage: gemmtune <command> [args]\n"
+         "commands:\n"
+         "  devices\n"
+         "  emit <device> <DGEMM|SGEMM>\n"
+         "  compile <file.cl>\n"
+         "  tune <device> <DGEMM|SGEMM> [budget] [out.json]\n"
+         "  estimate <device> <DGEMM|SGEMM> <NN|NT|TN|TT> <n>\n"
+         "  sweep <device> <DGEMM|SGEMM> <maxN>\n"
+         "  verify <device> <DGEMM|SGEMM> <M> <N> <K>\n";
+  return 2;
+}
+
+}  // namespace
+
+int run(const std::vector<std::string>& args, std::ostream& out) {
+  if (args.empty()) return usage(out);
+  const std::string cmd = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  try {
+    if (cmd == "devices") return cmd_devices(out);
+    if (cmd == "emit") return cmd_emit(rest, out);
+    if (cmd == "compile") return cmd_compile(rest, out);
+    if (cmd == "tune") return cmd_tune(rest, out);
+    if (cmd == "estimate") return cmd_estimate(rest, out);
+    if (cmd == "sweep") return cmd_sweep(rest, out);
+    if (cmd == "verify") return cmd_verify(rest, out);
+    return usage(out);
+  } catch (const Error& e) {
+    out << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    out << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace gemmtune::cli

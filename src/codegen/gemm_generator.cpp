@@ -1,0 +1,663 @@
+#include "codegen/gemm_generator.hpp"
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/intmath.hpp"
+#include "common/strings.hpp"
+
+namespace gemmtune::codegen {
+
+using namespace gemmtune::ir;
+
+LaunchGeometry launch_geometry(const KernelParams& p, std::int64_t Mp,
+                               std::int64_t Np) {
+  check(Mp > 0 && Np > 0, "launch_geometry: empty problem");
+  check(Mp % p.Mwg == 0 && Np % p.Nwg == 0,
+        "launch_geometry: problem not padded to work-group blocking");
+  return LaunchGeometry{{Mp / p.Mwi(), Np / p.Nwi()},
+                        {p.MdimC, p.NdimC}};
+}
+
+namespace {
+
+/// Builds the kernel body for one parameter set. The construction mirrors
+/// the paper's Figs. 4-6 line by line; helpers are named after the figure
+/// vocabulary (fill = "load elements of A into Alm", stage/commit = the PL
+/// prologue registers, compute = the pwi inner loop, merge = line "merge
+/// Cpm with elements of C").
+class Generator {
+ public:
+  explicit Generator(const KernelParams& p)
+      : p_(p),
+        sc_(p.prec == Precision::SP ? Scalar::F32 : Scalar::F64),
+        b_(kernel_name(p), sc_) {}
+
+  /// Direct-mode constructor: the kernel reads the column-major host
+  /// operands in place (no packed buffers, no padding); `ta`/`tb` select
+  /// the transpose handling in the index math.
+  Generator(const KernelParams& p, Transpose ta, Transpose tb, bool guarded)
+      : p_(p),
+        sc_(p.prec == Precision::SP ? Scalar::F32 : Scalar::F64),
+        b_(direct_kernel_name(p, ta, tb), sc_),
+        direct_(true),
+        guarded_(guarded),
+        ta_(ta),
+        tb_(tb) {}
+
+  Kernel run() {
+    declare_signature();
+    declare_symbols();
+    b_.set_reqd_local(p_.MdimC, p_.NdimC);
+    preamble();
+    zero_accumulators();
+    switch (p_.algo) {
+      case Algorithm::BA: emit_ba(); break;
+      case Algorithm::PL: emit_pl(); break;
+      case Algorithm::DB: emit_db(); break;
+    }
+    merge();
+    return b_.build();
+  }
+
+ private:
+  /// Source of one operand's elements inside the compute loop.
+  struct Src {
+    int local_slot = -1;  ///< local array, or -1 for direct global loads
+    int row_off = 0;      ///< tile row held at local row 0 (DB second half)
+    ExprPtr tile;         ///< tile base k for direct global loads
+    bool local() const { return local_slot >= 0; }
+  };
+
+  static std::string kernel_name(const KernelParams& p) {
+    std::string n = p.prec == Precision::SP ? "sgemm" : "dgemm";
+    n += "_atb_";
+    n += to_string(p.algo);
+    return n;
+  }
+
+  static std::string direct_kernel_name(const KernelParams& p, Transpose ta,
+                                        Transpose tb) {
+    std::string n = p.prec == Precision::SP ? "sgemm" : "dgemm";
+    n += "_direct_";
+    n += ta == Transpose::Yes ? 't' : 'n';
+    n += tb == Transpose::Yes ? 't' : 'n';
+    n += "_";
+    n += to_string(p.algo);
+    return n;
+  }
+
+  void declare_signature() {
+    const Scalar s = sc_;
+    check(GemmKernelArgs::C ==
+              b_.add_arg("C", ArgKind::GlobalPtr, s),
+          "arg order");
+    b_.add_arg("A", ArgKind::GlobalConstPtr, s);
+    b_.add_arg("B", ArgKind::GlobalConstPtr, s);
+    b_.add_arg("M", ArgKind::Int, Scalar::I32);
+    b_.add_arg("N", ArgKind::Int, Scalar::I32);
+    b_.add_arg("K", ArgKind::Int, Scalar::I32);
+    if (direct_) {
+      b_.add_arg("lda", ArgKind::Int, Scalar::I32);
+      b_.add_arg("ldb", ArgKind::Int, Scalar::I32);
+      b_.add_arg("ldc", ArgKind::Int, Scalar::I32);
+    }
+    b_.add_arg("alpha", ArgKind::Float, s);
+    b_.add_arg("beta", ArgKind::Float, s);
+  }
+
+  int arg_alpha() const {
+    return direct_ ? DirectGemmKernelArgs::alpha : GemmKernelArgs::alpha;
+  }
+  int arg_beta() const {
+    return direct_ ? DirectGemmKernelArgs::beta : GemmKernelArgs::beta;
+  }
+
+  void declare_symbols() {
+    v_lx_ = b_.decl_var("lx", i32());
+    v_ly_ = b_.decl_var("ly", i32());
+    v_gx_ = b_.decl_var("gx", i32());
+    v_gy_ = b_.decl_var("gy", i32());
+    v_pwg_ = b_.decl_var("pwg", i32());
+    v_pwi_ = b_.decl_var("pwi", i32());
+    v_avec_ = b_.decl_var("a_ik", fp(sc_, p_.vw));
+    if (p_.share_a || p_.share_b) v_t_ = b_.decl_var("tid", i32());
+    if (p_.share_a) {
+      v_am_ = b_.decl_var("a_m", i32());
+      v_ak_ = b_.decl_var("a_k", i32());
+    }
+    if (p_.share_b) {
+      v_bn_ = b_.decl_var("b_n", i32());
+      v_bk_ = b_.decl_var("b_k", i32());
+    }
+    arr_cpm_ = b_.decl_array("Cpm", sc_, p_.Mwi() * p_.Nwi(),
+                             AddrSpace::Private);
+    arr_apm_ = b_.decl_array("Apm", sc_, p_.Kwi * p_.Mwi(),
+                             AddrSpace::Private);
+    arr_bpm_ = b_.decl_array("Bpm", sc_, p_.Kwi * p_.Nwi(),
+                             AddrSpace::Private);
+    const int half = p_.Kwg / 2;
+    if (p_.share_a) {
+      if (p_.algo == Algorithm::DB) {
+        arr_alm_ = b_.decl_array("Alm0", sc_, half * p_.Mwg,
+                                 AddrSpace::Local);
+        arr_alm1_ = b_.decl_array("Alm1", sc_, half * p_.Mwg,
+                                  AddrSpace::Local);
+      } else {
+        arr_alm_ =
+            b_.decl_array("Alm", sc_, p_.Kwg * p_.Mwg, AddrSpace::Local);
+      }
+      if (p_.algo == Algorithm::PL)
+        arr_areg_ = b_.decl_array("Areg", sc_, p_.KwiA() * p_.MwiA(),
+                                  AddrSpace::Private);
+    }
+    if (p_.share_b) {
+      if (p_.algo == Algorithm::DB) {
+        arr_blm_ = b_.decl_array("Blm0", sc_, half * p_.Nwg,
+                                 AddrSpace::Local);
+        arr_blm1_ = b_.decl_array("Blm1", sc_, half * p_.Nwg,
+                                  AddrSpace::Local);
+      } else {
+        arr_blm_ =
+            b_.decl_array("Blm", sc_, p_.Kwg * p_.Nwg, AddrSpace::Local);
+      }
+      if (p_.algo == Algorithm::PL)
+        arr_breg_ = b_.decl_array("Breg", sc_, p_.KwiB() * p_.NwiB(),
+                                  AddrSpace::Private);
+    }
+  }
+
+  // ---- common expression pieces --------------------------------------------
+
+  ExprPtr argi(int a) const { return arg_ref(a, i32()); }
+  ExprPtr argf(int a) const { return arg_ref(a, fp(sc_, 1)); }
+  ExprPtr lx() const { return b_.ref(v_lx_); }
+  ExprPtr ly() const { return b_.ref(v_ly_); }
+  ExprPtr gx() const { return b_.ref(v_gx_); }
+  ExprPtr gy() const { return b_.ref(v_gy_); }
+  ExprPtr pwg() const { return b_.ref(v_pwg_); }
+  ExprPtr pwi() const { return b_.ref(v_pwi_); }
+
+  /// Local-m offset (within [0, Mwg)) of the first row of the work-item's
+  /// ci-th vw-wide row chunk: unit stride packs the item's rows together;
+  /// non-unit stride interleaves items at vw granularity (Fig. 2(b)).
+  ExprPtr lm_chunk(int ci) const {
+    if (!p_.stride_m) return lx() * p_.Mwi() + ci * p_.vw;
+    return lx() * p_.vw + iconst(static_cast<std::int64_t>(ci) * p_.MdimC *
+                                 p_.vw);
+  }
+  /// Local-m offset of the work-item's i-th row (scalar).
+  ExprPtr lm_row(int i) const {
+    return lm_chunk(i / p_.vw) + (i % p_.vw);
+  }
+  /// Local-n offset of the cj-th vw-wide column chunk.
+  ExprPtr ln_chunk(int cj) const {
+    if (!p_.stride_n) return ly() * p_.Nwi() + cj * p_.vw;
+    return ly() * p_.vw + iconst(static_cast<std::int64_t>(cj) * p_.NdimC *
+                                 p_.vw);
+  }
+
+  /// A direct-mode global load of op(A)(gx*Mwg+lm, tile+kk), bounds-
+  /// guarded when `guarded_` (out-of-bounds elements read as zero; the
+  /// ternary in the emitted code — like the interpreter's select — never
+  /// evaluates the out-of-bounds address).
+  ExprPtr load_a_direct(ExprPtr tile, ExprPtr kk, ExprPtr lm) const {
+    const Type t1 = fp(sc_, 1);
+    ExprPtr loadv = load_global(GemmKernelArgs::A, a_gidx(tile, kk, lm), t1);
+    if (!guarded_) return loadv;
+    ExprPtr inb = bin(BinOp::And,
+                      bin(BinOp::Lt, tile + kk, argi(GemmKernelArgs::K)),
+                      bin(BinOp::Lt, gx() * p_.Mwg + lm,
+                          argi(GemmKernelArgs::M)));
+    return select(std::move(inb), std::move(loadv), fconst(0.0, t1));
+  }
+
+  ExprPtr load_b_direct(ExprPtr tile, ExprPtr kk, ExprPtr ln) const {
+    const Type t1 = fp(sc_, 1);
+    ExprPtr loadv = load_global(GemmKernelArgs::B, b_gidx(tile, kk, ln), t1);
+    if (!guarded_) return loadv;
+    ExprPtr inb = bin(BinOp::And,
+                      bin(BinOp::Lt, tile + kk, argi(GemmKernelArgs::K)),
+                      bin(BinOp::Lt, gy() * p_.Nwg + ln,
+                          argi(GemmKernelArgs::N)));
+    return select(std::move(inb), std::move(loadv), fconst(0.0, t1));
+  }
+
+  /// Global element index of A(tile + kk, gx*Mwg + lm) in layout_a.
+  /// `kk` must stay inside [0, Kwg) and `tile` must be a multiple of Kwg
+  /// (guaranteed by construction), which lets block layouts avoid any
+  /// division in the generated code.
+  ExprPtr a_gidx(ExprPtr tile, ExprPtr kk, ExprPtr lm) const {
+    if (direct_) {
+      // Column-major host matrix read in place: op(A)(m, k) with
+      // m = gx*Mwg + lm and k = tile + kk.
+      ExprPtr k = tile + kk;
+      ExprPtr m = gx() * p_.Mwg + lm;
+      ExprPtr lda = argi(DirectGemmKernelArgs::lda);
+      return ta_ == Transpose::No ? k * lda + m : m * lda + k;
+    }
+    switch (p_.layout_a) {
+      case BlockLayout::RowMajor:
+        return (tile + kk) * argi(GemmKernelArgs::M) + gx() * p_.Mwg + lm;
+      case BlockLayout::CBL:
+        return gx() * (argi(GemmKernelArgs::K) * iconst(p_.Mwg)) +
+               (tile + kk) * p_.Mwg + lm;
+      case BlockLayout::RBL:
+        return tile * argi(GemmKernelArgs::M) +
+               gx() * (p_.Kwg * p_.Mwg) + kk * p_.Mwg + lm;
+    }
+    fail("a_gidx: bad layout");
+  }
+
+  /// Global element index of B(tile + kk, gy*Nwg + ln) in layout_b.
+  ExprPtr b_gidx(ExprPtr tile, ExprPtr kk, ExprPtr ln) const {
+    if (direct_) {
+      ExprPtr k = tile + kk;
+      ExprPtr n = gy() * p_.Nwg + ln;
+      ExprPtr ldb = argi(DirectGemmKernelArgs::ldb);
+      return tb_ == Transpose::No ? n * ldb + k : k * ldb + n;
+    }
+    switch (p_.layout_b) {
+      case BlockLayout::RowMajor:
+        return (tile + kk) * argi(GemmKernelArgs::N) + gy() * p_.Nwg + ln;
+      case BlockLayout::CBL:
+        return gy() * (argi(GemmKernelArgs::K) * iconst(p_.Nwg)) +
+               (tile + kk) * p_.Nwg + ln;
+      case BlockLayout::RBL:
+        return tile * argi(GemmKernelArgs::N) +
+               gy() * (p_.Kwg * p_.Nwg) + kk * p_.Nwg + ln;
+    }
+    fail("b_gidx: bad layout");
+  }
+
+  // ---- body sections ---------------------------------------------------------
+
+  void preamble() {
+    b_.append(comment(p_.summary()));
+    b_.append(assign(v_lx_, builtin(BuiltinFn::LocalId, 0)));
+    b_.append(assign(v_ly_, builtin(BuiltinFn::LocalId, 1)));
+    b_.append(assign(v_gx_, builtin(BuiltinFn::GroupId, 0)));
+    b_.append(assign(v_gy_, builtin(BuiltinFn::GroupId, 1)));
+    if (p_.share_a || p_.share_b)
+      b_.append(assign(v_t_, ly() * p_.MdimC + lx()));
+    if (p_.share_a) {
+      b_.append(assign(v_am_, bin(BinOp::Mod, b_.ref(v_t_),
+                                  iconst(p_.MdimA))));
+      b_.append(assign(v_ak_, bin(BinOp::Div, b_.ref(v_t_),
+                                  iconst(p_.MdimA))));
+    }
+    if (p_.share_b) {
+      b_.append(assign(v_bn_, bin(BinOp::Mod, b_.ref(v_t_),
+                                  iconst(p_.NdimB))));
+      b_.append(assign(v_bk_, bin(BinOp::Div, b_.ref(v_t_),
+                                  iconst(p_.NdimB))));
+    }
+  }
+
+  void zero_accumulators() {
+    const Type vt = fp(sc_, p_.vw);
+    for (int idx = 0; idx < p_.Mwi() * p_.Nwi(); idx += p_.vw)
+      b_.append(store_private(arr_cpm_, iconst(idx), fconst(0.0, vt)));
+  }
+
+  /// "load MwiA * KwiA elements of A into Alm" (rows [kk0, kk0 + rows) of
+  /// tile `tile`, into the local array `dst`). Emitted into `out`.
+  void fill_a(std::vector<StmtPtr>& out, ExprPtr tile, int kk0, int rows,
+              int dst) const {
+    const Type t1 = fp(sc_, 1);
+    for (int q = 0; q < rows / p_.KdimA(); ++q) {
+      for (int r = 0; r < p_.MwiA(); ++r) {
+        ExprPtr row = b_.ref(v_ak_) + q * p_.KdimA();
+        ExprPtr lm = b_.ref(v_am_) + r * p_.MdimA;
+        ExprPtr src =
+            direct_ ? load_a_direct(tile, row + kk0, lm)
+                    : load_global(GemmKernelArgs::A,
+                                  a_gidx(tile, row + kk0, lm), t1);
+        out.push_back(store_local(dst, row * p_.Mwg + lm, src));
+      }
+    }
+  }
+
+  /// Same for B.
+  void fill_b(std::vector<StmtPtr>& out, ExprPtr tile, int kk0, int rows,
+              int dst) const {
+    const Type t1 = fp(sc_, 1);
+    for (int q = 0; q < rows / p_.KdimB(); ++q) {
+      for (int r = 0; r < p_.NwiB(); ++r) {
+        ExprPtr row = b_.ref(v_bk_) + q * p_.KdimB();
+        ExprPtr ln = b_.ref(v_bn_) + r * p_.NdimB;
+        ExprPtr src =
+            direct_ ? load_b_direct(tile, row + kk0, ln)
+                    : load_global(GemmKernelArgs::B,
+                                  b_gidx(tile, row + kk0, ln), t1);
+        out.push_back(store_local(dst, row * p_.Nwg + ln, src));
+      }
+    }
+  }
+
+  /// PL: load tile `tile` of A into the private staging array Areg.
+  void stage_a(std::vector<StmtPtr>& out, ExprPtr tile) const {
+    const Type t1 = fp(sc_, 1);
+    for (int q = 0; q < p_.KwiA(); ++q)
+      for (int r = 0; r < p_.MwiA(); ++r)
+        out.push_back(store_private(
+            arr_areg_, iconst(q * p_.MwiA() + r),
+            load_global(GemmKernelArgs::A,
+                        a_gidx(tile, b_.ref(v_ak_) + q * p_.KdimA(),
+                               b_.ref(v_am_) + r * p_.MdimA),
+                        t1)));
+  }
+
+  void stage_b(std::vector<StmtPtr>& out, ExprPtr tile) const {
+    const Type t1 = fp(sc_, 1);
+    for (int q = 0; q < p_.KwiB(); ++q)
+      for (int r = 0; r < p_.NwiB(); ++r)
+        out.push_back(store_private(
+            arr_breg_, iconst(q * p_.NwiB() + r),
+            load_global(GemmKernelArgs::B,
+                        b_gidx(tile, b_.ref(v_bk_) + q * p_.KdimB(),
+                               b_.ref(v_bn_) + r * p_.NdimB),
+                        t1)));
+  }
+
+  /// PL: copy the staged registers into local memory.
+  void commit_a(std::vector<StmtPtr>& out) const {
+    const Type t1 = fp(sc_, 1);
+    for (int q = 0; q < p_.KwiA(); ++q)
+      for (int r = 0; r < p_.MwiA(); ++r) {
+        ExprPtr row = b_.ref(v_ak_) + q * p_.KdimA();
+        ExprPtr lm = b_.ref(v_am_) + r * p_.MdimA;
+        out.push_back(store_local(
+            arr_alm_, row * p_.Mwg + lm,
+            load_private(arr_areg_, iconst(q * p_.MwiA() + r), t1)));
+      }
+  }
+
+  void commit_b(std::vector<StmtPtr>& out) const {
+    const Type t1 = fp(sc_, 1);
+    for (int q = 0; q < p_.KwiB(); ++q)
+      for (int r = 0; r < p_.NwiB(); ++r) {
+        ExprPtr row = b_.ref(v_bk_) + q * p_.KdimB();
+        ExprPtr ln = b_.ref(v_bn_) + r * p_.NdimB;
+        out.push_back(store_local(
+            arr_blm_, row * p_.Nwg + ln,
+            load_private(arr_breg_, iconst(q * p_.NwiB() + r), t1)));
+      }
+  }
+
+  /// The pwi inner loop over tile rows [pwi0, pwi1): load Kwi slices of A
+  /// and B into private memory and accumulate Mwi x Nwi mads per slice
+  /// (fully unrolled micro-kernel; the Kwi factor is the paper's loop
+  /// unrolling parameter).
+  StmtPtr compute(const Src& a, const Src& bsrc, int pwi0, int pwi1) const {
+    const Type vt = fp(sc_, p_.vw);
+    std::vector<StmtPtr> body;
+    for (int kk = 0; kk < p_.Kwi; ++kk) {
+      ExprPtr krow = pwi() + kk;
+      // Stage the A slice.
+      for (int ci = 0; ci < p_.Mwi() / p_.vw; ++ci) {
+        ExprPtr src =
+            a.local()
+                ? load_local(a.local_slot,
+                             (krow - iconst(a.row_off)) * p_.Mwg +
+                                 lm_chunk(ci),
+                             vt)
+                : (direct_
+                       ? load_a_direct(a.tile, krow, lm_chunk(ci))
+                       : load_global(GemmKernelArgs::A,
+                                     a_gidx(a.tile, krow, lm_chunk(ci)),
+                                     vt));
+        body.push_back(
+            store_private(arr_apm_, iconst(kk * p_.Mwi() + ci * p_.vw), src));
+      }
+      // Stage the B slice.
+      for (int cj = 0; cj < p_.Nwi() / p_.vw; ++cj) {
+        ExprPtr src =
+            bsrc.local()
+                ? load_local(bsrc.local_slot,
+                             (krow - iconst(bsrc.row_off)) * p_.Nwg +
+                                 ln_chunk(cj),
+                             vt)
+                : (direct_
+                       ? load_b_direct(bsrc.tile, krow, ln_chunk(cj))
+                       : load_global(GemmKernelArgs::B,
+                                     b_gidx(bsrc.tile, krow, ln_chunk(cj)),
+                                     vt));
+        body.push_back(
+            store_private(arr_bpm_, iconst(kk * p_.Nwi() + cj * p_.vw), src));
+      }
+      // Rank-1 update of the accumulators.
+      for (int i = 0; i < p_.Mwi(); ++i) {
+        ExprPtr a_sc = lane(
+            load_private(arr_apm_,
+                         iconst(kk * p_.Mwi() + (i / p_.vw) * p_.vw), vt),
+            i % p_.vw);
+        body.push_back(assign(v_avec_, splat(a_sc, p_.vw)));
+        for (int cj = 0; cj < p_.Nwi() / p_.vw; ++cj) {
+          ExprPtr cidx = iconst(i * p_.Nwi() + cj * p_.vw);
+          body.push_back(store_private(
+              arr_cpm_, cidx,
+              mad(b_.ref(v_avec_),
+                  load_private(arr_bpm_, iconst(kk * p_.Nwi() + cj * p_.vw),
+                               vt),
+                  load_private(arr_cpm_, cidx, vt))));
+        }
+      }
+    }
+    return for_loop(v_pwi_, iconst(pwi0), iconst(pwi1), iconst(p_.Kwi),
+                    std::move(body));
+  }
+
+  Src a_src_local(int slot, int row_off) const {
+    Src s;
+    s.local_slot = slot;
+    s.row_off = row_off;
+    return s;
+  }
+  Src src_direct(ExprPtr tile) const {
+    Src s;
+    s.tile = std::move(tile);
+    return s;
+  }
+
+  Src a_of(ExprPtr tile, int local_slot, int row_off = 0) const {
+    return p_.share_a ? a_src_local(local_slot, row_off)
+                      : src_direct(std::move(tile));
+  }
+  Src b_of(ExprPtr tile, int local_slot, int row_off = 0) const {
+    return p_.share_b ? a_src_local(local_slot, row_off)
+                      : src_direct(std::move(tile));
+  }
+
+  // ---- Fig. 4: basic algorithm ----------------------------------------------
+
+  void emit_ba() {
+    std::vector<StmtPtr> body;
+    if (p_.share_a) fill_a(body, pwg(), 0, p_.Kwg, arr_alm_);
+    if (p_.share_b) fill_b(body, pwg(), 0, p_.Kwg, arr_blm_);
+    const bool shared = p_.share_a || p_.share_b;
+    if (shared) body.push_back(barrier());
+    body.push_back(
+        compute(a_of(pwg(), arr_alm_), b_of(pwg(), arr_blm_), 0, p_.Kwg));
+    if (shared) body.push_back(barrier());
+    // Guarded kernels loop over K rounded up to the tile (the guards zero
+    // the phantom tail); exact kernels loop over K itself.
+    ExprPtr limit =
+        guarded_ ? bin(BinOp::Div,
+                       argi(GemmKernelArgs::K) + iconst(p_.Kwg - 1),
+                       iconst(p_.Kwg)) *
+                       p_.Kwg
+                 : argi(GemmKernelArgs::K);
+    b_.append(for_loop(v_pwg_, iconst(0), std::move(limit), iconst(p_.Kwg),
+                       std::move(body)));
+  }
+
+  // ---- Fig. 5: software pipelining --------------------------------------------
+
+  void emit_pl() {
+    // Prologue: first tile into local memory.
+    std::vector<StmtPtr> pro;
+    if (p_.share_a) fill_a(pro, iconst(0), 0, p_.Kwg, arr_alm_);
+    if (p_.share_b) fill_b(pro, iconst(0), 0, p_.Kwg, arr_blm_);
+    for (auto& s : pro) b_.append(std::move(s));
+    b_.append(barrier());
+    // Pipelined main loop over tiles 0 .. K/Kwg - 2.
+    std::vector<StmtPtr> body;
+    if (p_.share_a) stage_a(body, pwg() + p_.Kwg);
+    if (p_.share_b) stage_b(body, pwg() + p_.Kwg);
+    body.push_back(barrier());
+    body.push_back(
+        compute(a_of(pwg(), arr_alm_), b_of(pwg(), arr_blm_), 0, p_.Kwg));
+    body.push_back(barrier());
+    if (p_.share_a) commit_a(body);
+    if (p_.share_b) commit_b(body);
+    body.push_back(barrier());
+    b_.append(for_loop(v_pwg_, iconst(0),
+                       argi(GemmKernelArgs::K) - iconst(p_.Kwg),
+                       iconst(p_.Kwg), std::move(body)));
+    // Epilogue: the last tile is already in local memory.
+    b_.append(assign(v_pwg_, argi(GemmKernelArgs::K) - iconst(p_.Kwg)));
+    b_.append(
+        compute(a_of(pwg(), arr_alm_), b_of(pwg(), arr_blm_), 0, p_.Kwg));
+  }
+
+  // ---- Fig. 6: double buffering -----------------------------------------------
+
+  void emit_db() {
+    const int half = p_.Kwg / 2;
+    // Prologue: half 0 of tile 0 into buffer 0.
+    std::vector<StmtPtr> pro;
+    if (p_.share_a) fill_a(pro, iconst(0), 0, half, arr_alm_);
+    if (p_.share_b) fill_b(pro, iconst(0), 0, half, arr_blm_);
+    for (auto& s : pro) b_.append(std::move(s));
+    // Main loop over tiles 0 .. K/Kwg - 2.
+    std::vector<StmtPtr> body;
+    body.push_back(barrier());
+    if (p_.share_a) fill_a(body, pwg(), half, half, arr_alm1_);
+    if (p_.share_b) fill_b(body, pwg(), half, half, arr_blm1_);
+    body.push_back(
+        compute(a_of(pwg(), arr_alm_), b_of(pwg(), arr_blm_), 0, half));
+    body.push_back(barrier());
+    if (p_.share_a) fill_a(body, pwg() + p_.Kwg, 0, half, arr_alm_);
+    if (p_.share_b) fill_b(body, pwg() + p_.Kwg, 0, half, arr_blm_);
+    body.push_back(compute(a_of(pwg(), arr_alm1_, half),
+                           b_of(pwg(), arr_blm1_, half), half, p_.Kwg));
+    b_.append(for_loop(v_pwg_, iconst(0),
+                       argi(GemmKernelArgs::K) - iconst(p_.Kwg),
+                       iconst(p_.Kwg), std::move(body)));
+    // Epilogue: last tile; buffer 0 already holds its first half.
+    b_.append(assign(v_pwg_, argi(GemmKernelArgs::K) - iconst(p_.Kwg)));
+    b_.append(barrier());
+    std::vector<StmtPtr> tail;
+    if (p_.share_a) fill_a(tail, pwg(), half, half, arr_alm1_);
+    if (p_.share_b) fill_b(tail, pwg(), half, half, arr_blm1_);
+    for (auto& s : tail) b_.append(std::move(s));
+    b_.append(
+        compute(a_of(pwg(), arr_alm_), b_of(pwg(), arr_blm_), 0, half));
+    b_.append(barrier());
+    b_.append(compute(a_of(pwg(), arr_alm1_, half),
+                      b_of(pwg(), arr_blm1_, half), half, p_.Kwg));
+  }
+
+  // ---- merge -------------------------------------------------------------------
+
+  void merge() {
+    const Type vt = fp(sc_, p_.vw);
+    b_.append(comment("merge Cpm with C: C = alpha*Cpm + beta*C"));
+    for (int i = 0; i < p_.Mwi(); ++i) {
+      for (int cj = 0; cj < p_.Nwi() / p_.vw; ++cj) {
+        // Packed mode writes the padded row-major C buffer; direct mode
+        // writes the column-major host matrix in place.
+        ExprPtr gidx =
+            direct_
+                ? (gy() * p_.Nwg + ln_chunk(cj)) *
+                          argi(DirectGemmKernelArgs::ldc) +
+                      gx() * p_.Mwg + lm_row(i)
+                : (gx() * p_.Mwg + lm_row(i)) * argi(GemmKernelArgs::N) +
+                      gy() * p_.Nwg + ln_chunk(cj);
+        ExprPtr val =
+            mad(splat(argf(arg_alpha()), p_.vw),
+                load_private(arr_cpm_, iconst(i * p_.Nwi() + cj * p_.vw), vt),
+                bin(BinOp::FMul, splat(argf(arg_beta()), p_.vw),
+                    load_global(GemmKernelArgs::C, gidx, vt)));
+        if (guarded_) {
+          // Out-of-bounds rows/columns must neither read nor write C.
+          ExprPtr inb = bin(
+              BinOp::And,
+              bin(BinOp::Lt, gx() * p_.Mwg + lm_row(i),
+                  argi(GemmKernelArgs::M)),
+              bin(BinOp::Lt, gy() * p_.Nwg + ln_chunk(cj),
+                  argi(GemmKernelArgs::N)));
+          b_.append(if_then(std::move(inb),
+                            {store_global(GemmKernelArgs::C, gidx, val)}));
+        } else {
+          b_.append(store_global(GemmKernelArgs::C, gidx, val));
+        }
+      }
+    }
+  }
+
+  const KernelParams& p_;
+  Scalar sc_;
+  KernelBuilder b_;
+  int v_lx_ = -1, v_ly_ = -1, v_gx_ = -1, v_gy_ = -1, v_t_ = -1;
+  int v_am_ = -1, v_ak_ = -1, v_bn_ = -1, v_bk_ = -1;
+  int v_pwg_ = -1, v_pwi_ = -1, v_avec_ = -1;
+  int arr_cpm_ = -1, arr_apm_ = -1, arr_bpm_ = -1;
+  int arr_alm_ = -1, arr_alm1_ = -1, arr_blm_ = -1, arr_blm1_ = -1;
+  int arr_areg_ = -1, arr_breg_ = -1;
+  bool direct_ = false;
+  bool guarded_ = false;
+  Transpose ta_ = Transpose::No, tb_ = Transpose::No;
+};
+
+}  // namespace
+
+ir::Kernel generate_gemm_kernel(const KernelParams& p) {
+  check(p.Mwg % p.MdimC == 0 && p.Nwg % p.NdimC == 0,
+        "generate_gemm_kernel: work-item blocking does not divide");
+  check(p.Mwi() % p.vw == 0 && p.Nwi() % p.vw == 0,
+        "generate_gemm_kernel: vector width does not divide blocking");
+  check(p.Kwg % p.Kwi == 0, "generate_gemm_kernel: Kwi does not divide Kwg");
+  if (p.share_a)
+    check(p.wg_size() % p.MdimA == 0 && p.Mwg % p.MdimA == 0 &&
+              p.Kwg % p.KdimA() == 0,
+          "generate_gemm_kernel: A local-fill reshape does not tile");
+  if (p.share_b)
+    check(p.wg_size() % p.NdimB == 0 && p.Nwg % p.NdimB == 0 &&
+              p.Kwg % p.KdimB() == 0,
+          "generate_gemm_kernel: B local-fill reshape does not tile");
+  if (p.algo != Algorithm::BA)
+    check(p.share_a || p.share_b,
+          "generate_gemm_kernel: PL/DB require local memory");
+  if (p.algo == Algorithm::DB) {
+    check(p.Kwg % 2 == 0 && (p.Kwg / 2) % p.Kwi == 0,
+          "generate_gemm_kernel: DB tiling constraints");
+    if (p.share_a)
+      check((p.Kwg / 2) % p.KdimA() == 0,
+            "generate_gemm_kernel: DB A-fill constraint");
+    if (p.share_b)
+      check((p.Kwg / 2) % p.KdimB() == 0,
+            "generate_gemm_kernel: DB B-fill constraint");
+  }
+  return Generator(p).run();
+}
+
+ir::Kernel generate_direct_gemm_kernel(const KernelParams& p, Transpose ta,
+                                       Transpose tb, bool guarded) {
+  check(p.vw == 1,
+        "generate_direct_gemm_kernel: in-place operands require scalar "
+        "accesses (vw = 1)");
+  check(!guarded || p.algo == Algorithm::BA,
+        "generate_direct_gemm_kernel: guarded kernels use the BA algorithm "
+        "(pipelined prologue/epilogue arithmetic assumes exact tiles)");
+  // The structural constraints are the same as the packed kernel's; the
+  // layouts are simply ignored.
+  KernelParams q = p;
+  q.layout_a = q.layout_b = BlockLayout::RowMajor;
+  (void)generate_gemm_kernel(q);  // reuse the structural validation
+  return Generator(p, ta, tb, guarded).run();
+}
+
+}  // namespace gemmtune::codegen

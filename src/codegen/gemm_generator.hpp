@@ -1,0 +1,80 @@
+// The GEMM code generator (paper Section III).
+//
+// Produces C <- alpha * A^T * B + beta * C kernels in the kernel IR for any
+// valid KernelParams. Operand buffers:
+//   A: padded Kp x Mp matrix (op(A)^T) in layout_a with (Kwg, Mwg) blocking
+//   B: padded Kp x Np matrix (op(B))  in layout_b with (Kwg, Nwg) blocking
+//   C: padded Mp x Np row-major matrix
+// Kernel arguments, in order: C, A, B, M(=Mp), N(=Np), K(=Kp), alpha, beta.
+//
+// The generated NDRange is two-dimensional: a work-group of MdimC x NdimC
+// work-items computes one Mwg x Nwg block of C; each work-item accumulates
+// an Mwi x Nwi private sub-block (Fig. 1 and Fig. 2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "codegen/params.hpp"
+#include "kernelir/kernel.hpp"
+#include "layout/matrix.hpp"
+
+namespace gemmtune::codegen {
+
+/// NDRange for launching a generated kernel on a padded (Mp, Np) problem.
+struct LaunchGeometry {
+  std::array<std::int64_t, 2> global;
+  std::array<std::int64_t, 2> local;
+};
+
+/// Computes the launch geometry; Mp / Np must be multiples of Mwg / Nwg.
+LaunchGeometry launch_geometry(const KernelParams& p, std::int64_t Mp,
+                               std::int64_t Np);
+
+/// Generates the A^T*B kernel for `p`. The caller is expected to have
+/// passed `p` through validate() for the target device; structural
+/// impossibilities still throw gemmtune::Error.
+ir::Kernel generate_gemm_kernel(const KernelParams& p);
+
+/// Indices of the generated kernel's arguments (fixed order).
+struct GemmKernelArgs {
+  static constexpr int C = 0;
+  static constexpr int A = 1;
+  static constexpr int B = 2;
+  static constexpr int M = 3;
+  static constexpr int N = 4;
+  static constexpr int K = 5;
+  static constexpr int alpha = 6;
+  static constexpr int beta = 7;
+};
+
+/// The paper's future-work extension (Section V): a GEMM kernel that reads
+/// the column-major host operands *directly* — no copy into block-major
+/// buffers — so that small problems do not pay the O(N^2) pack overhead.
+/// Restrictions: scalar accesses (vw is forced to 1) and operand layouts
+/// are ignored. Without `guarded`, M / N / K must be exact multiples of
+/// Mwg / Nwg / Kwg (there is no zero padding without a copy); with
+/// `guarded` the kernel bounds-checks every access (BA algorithm only) and
+/// handles arbitrary sizes — launch it on the padded NDRange. Argument
+/// order below.
+ir::Kernel generate_direct_gemm_kernel(const KernelParams& p,
+                                       gemmtune::Transpose ta,
+                                       gemmtune::Transpose tb,
+                                       bool guarded = false);
+
+/// Argument indices of the direct (copy-free) kernel.
+struct DirectGemmKernelArgs {
+  static constexpr int C = 0;
+  static constexpr int A = 1;
+  static constexpr int B = 2;
+  static constexpr int M = 3;
+  static constexpr int N = 4;
+  static constexpr int K = 5;
+  static constexpr int lda = 6;
+  static constexpr int ldb = 7;
+  static constexpr int ldc = 8;
+  static constexpr int alpha = 9;
+  static constexpr int beta = 10;
+};
+
+}  // namespace gemmtune::codegen

@@ -1,0 +1,93 @@
+#include "codegen/pack_generator.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace gemmtune::codegen {
+
+using namespace gemmtune::ir;
+
+namespace {
+
+Scalar scalar_of(Precision p) {
+  return p == Precision::SP ? Scalar::F32 : Scalar::F64;
+}
+
+void declare_pack_signature(KernelBuilder& b, Scalar s) {
+  b.add_arg("dst", ArgKind::GlobalPtr, s);
+  b.add_arg("src", ArgKind::GlobalConstPtr, s);
+  b.add_arg("R", ArgKind::Int, Scalar::I32);
+  b.add_arg("C", ArgKind::Int, Scalar::I32);
+  b.add_arg("Rp", ArgKind::Int, Scalar::I32);
+  b.add_arg("Cp", ArgKind::Int, Scalar::I32);
+  b.add_arg("ld", ArgKind::Int, Scalar::I32);
+}
+
+}  // namespace
+
+ir::Kernel generate_pack_kernel(Precision prec, BlockLayout layout,
+                                int rblock, int cblock,
+                                bool src_row_major_rc) {
+  check(rblock > 0 && cblock > 0, "generate_pack_kernel: bad blocking");
+  const Scalar s = scalar_of(prec);
+  KernelBuilder b(strf("pack_%s_%s_%dx%d_%s",
+                       prec == Precision::SP ? "sp" : "dp",
+                       gemmtune::to_string(layout), rblock, cblock,
+                       src_row_major_rc ? "rm" : "cm"),
+                  s);
+  declare_pack_signature(b, s);
+  const int v_r = b.decl_var("r", i32());
+  const int v_c = b.decl_var("c", i32());
+  b.append(assign(v_r, builtin(BuiltinFn::GlobalId, 0)));
+  b.append(assign(v_c, builtin(BuiltinFn::GlobalId, 1)));
+  ExprPtr r = b.ref(v_r);
+  ExprPtr c = b.ref(v_c);
+  ExprPtr ld = arg_ref(PackKernelArgs::ld, i32());
+  ExprPtr cp = arg_ref(PackKernelArgs::Cp, i32());
+  ExprPtr rp = arg_ref(PackKernelArgs::Rp, i32());
+  ExprPtr src_idx = src_row_major_rc ? r * ld + c : c * ld + r;
+  ExprPtr dst_idx;
+  switch (layout) {
+    case BlockLayout::RowMajor:
+      dst_idx = r * cp + c;
+      break;
+    case BlockLayout::CBL:
+      dst_idx = bin(BinOp::Div, c, iconst(cblock)) * (rp * iconst(cblock)) +
+                r * cblock + bin(BinOp::Mod, c, iconst(cblock));
+      break;
+    case BlockLayout::RBL:
+      dst_idx = bin(BinOp::Div, r, iconst(rblock)) * (iconst(rblock) * cp) +
+                bin(BinOp::Div, c, iconst(cblock)) *
+                    iconst(static_cast<std::int64_t>(rblock) * cblock) +
+                bin(BinOp::Mod, r, iconst(rblock)) * cblock +
+                bin(BinOp::Mod, c, iconst(cblock));
+      break;
+  }
+  const Type t1 = fp(s, 1);
+  b.append(store_global(PackKernelArgs::dst, dst_idx,
+                        load_global(PackKernelArgs::src, src_idx, t1)));
+  return b.build();
+}
+
+ir::Kernel generate_unpack_c_kernel(Precision prec) {
+  const Scalar s = scalar_of(prec);
+  KernelBuilder b(strf("unpack_c_%s", prec == Precision::SP ? "sp" : "dp"),
+                  s);
+  declare_pack_signature(b, s);
+  const int v_r = b.decl_var("r", i32());
+  const int v_c = b.decl_var("c", i32());
+  b.append(assign(v_r, builtin(BuiltinFn::GlobalId, 0)));
+  b.append(assign(v_c, builtin(BuiltinFn::GlobalId, 1)));
+  ExprPtr r = b.ref(v_r);
+  ExprPtr c = b.ref(v_c);
+  ExprPtr ld = arg_ref(PackKernelArgs::ld, i32());
+  ExprPtr cp = arg_ref(PackKernelArgs::Cp, i32());
+  const Type t1 = fp(s, 1);
+  // dst is column-major with leading dimension ld; src is the padded
+  // row-major kernel output.
+  b.append(store_global(PackKernelArgs::dst, c * ld + r,
+                        load_global(PackKernelArgs::src, r * cp + c, t1)));
+  return b.build();
+}
+
+}  // namespace gemmtune::codegen

@@ -1,0 +1,48 @@
+// Generators for the copy/pack kernels of the GEMM implementation
+// (paper Section IV-B: "Our GEMM implementations execute the A^T*B kernel
+// after copying matrix data. Matrix data are transposed and changed into a
+// block-major order during the copying.").
+//
+// A single generic pack kernel covers all operand cases. The destination is
+// a padded Rp x Cp matrix in a block layout with (rblock, cblock) blocking;
+// the source is a column-major host-layout matrix with leading dimension
+// ld. With `src_row_major_rc` = false the source element for destination
+// coordinate (r, c) is src[c*ld + r]; with true it is src[r*ld + c]:
+//   A operand (dst = op(A)^T, K x M):  non-transposed A -> true,
+//                                       transposed A    -> false
+//   B operand (dst = op(B), K x N):    non-transposed B -> false,
+//                                       transposed B    -> true
+//   C operand (dst = row-major M x N): -> false
+// The destination buffer must be zero-filled beforehand (zero padding);
+// the kernel only writes the live R x C region, launched as an (R, C)
+// NDRange.
+#pragma once
+
+#include "codegen/params.hpp"
+#include "kernelir/kernel.hpp"
+
+namespace gemmtune::codegen {
+
+/// Pack-kernel argument order.
+struct PackKernelArgs {
+  static constexpr int dst = 0;
+  static constexpr int src = 1;
+  static constexpr int R = 2;    ///< live rows (unused in indexing; doc)
+  static constexpr int C = 3;    ///< live cols (unused in indexing; doc)
+  static constexpr int Rp = 4;   ///< padded rows
+  static constexpr int Cp = 5;   ///< padded cols
+  static constexpr int ld = 6;   ///< source leading dimension
+};
+
+/// Generates a pack kernel for one operand configuration.
+ir::Kernel generate_pack_kernel(Precision prec, BlockLayout layout,
+                                int rblock, int cblock,
+                                bool src_row_major_rc);
+
+/// Generates the inverse kernel for the C result: reads the padded
+/// row-major Rp x Cp buffer and writes the live R x C region into a
+/// column-major destination with leading dimension ld. Argument order
+/// matches PackKernelArgs (dst = column-major host-layout buffer).
+ir::Kernel generate_unpack_c_kernel(Precision prec);
+
+}  // namespace gemmtune::codegen

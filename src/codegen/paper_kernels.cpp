@@ -1,0 +1,176 @@
+#include "codegen/paper_kernels.hpp"
+
+#include "common/error.hpp"
+
+namespace gemmtune::codegen {
+
+namespace {
+
+KernelParams base(Precision prec, int Mwg, int Nwg, int Kwg, int MdimC,
+                  int NdimC, int MdimA, int NdimB, int Kwi, int vw,
+                  BlockLayout la, BlockLayout lb, Algorithm algo) {
+  KernelParams p;
+  p.prec = prec;
+  p.Mwg = Mwg;
+  p.Nwg = Nwg;
+  p.Kwg = Kwg;
+  p.MdimC = MdimC;
+  p.NdimC = NdimC;
+  p.MdimA = MdimA;
+  p.NdimB = NdimB;
+  p.Kwi = Kwi;
+  p.vw = vw;
+  p.layout_a = la;
+  p.layout_b = lb;
+  p.algo = algo;
+  return p;
+}
+
+PaperKernelResult make(KernelParams p, double gflops, double eff) {
+  return PaperKernelResult{p, gflops, eff};
+}
+
+using simcl::DeviceId;
+constexpr auto CBL = BlockLayout::CBL;
+constexpr auto RBL = BlockLayout::RBL;
+
+PaperKernelResult entry_dp(DeviceId id) {
+  switch (id) {
+    case DeviceId::Tahiti: {
+      // 96,32,48 / 6,2,2 / 16,16 / vw 2 / shared B / CBL,CBL / BA / 863 (91%)
+      KernelParams p = base(Precision::DP, 96, 32, 48, 16, 16, 16, 16, 2, 2,
+                            CBL, CBL, Algorithm::BA);
+      p.share_b = true;
+      return make(p, 863, 0.91);
+    }
+    case DeviceId::Cayman: {
+      // 64,32,48 / 4,4,24 / 16,8 / vw 2 / stride N / no local (the paper
+      // reports Cayman runs slower with local memory) / CBL,CBL / BA / 580
+      KernelParams p = base(Precision::DP, 64, 32, 48, 16, 8, 16, 8, 24, 2,
+                            CBL, CBL, Algorithm::BA);
+      p.stride_n = true;
+      return make(p, 580, 0.86);
+    }
+    case DeviceId::Kepler: {
+      // 32,64,8 / 2,4,4 / 16,16 / 32,8 / 8,32 / vw 1 / stride N /
+      // shared A,B / CBL,CBL / BA / 128 (105%, boosted clock)
+      KernelParams p = base(Precision::DP, 32, 64, 8, 16, 16, 32, 32, 4, 1,
+                            CBL, CBL, Algorithm::BA);
+      p.stride_n = true;
+      p.share_a = p.share_b = true;
+      return make(p, 128, 1.05);
+    }
+    case DeviceId::Fermi: {
+      // 64,64,8 / 4,4,2 / 16,16 / 64,4 / 4,64 / vw 1 / stride N /
+      // shared B / CBL,RBL / PL / 370 (56%)
+      KernelParams p = base(Precision::DP, 64, 64, 8, 16, 16, 64, 64, 2, 1,
+                            CBL, RBL, Algorithm::PL);
+      p.stride_n = true;
+      p.share_b = true;
+      return make(p, 370, 0.56);
+    }
+    case DeviceId::SandyBridge: {
+      // 64,32,64 / 4,8,4 / 16,4 / vw 4 / shared B / RBL,RBL / DB / 64 (40%)
+      KernelParams p = base(Precision::DP, 64, 32, 64, 16, 4, 16, 4, 4, 4,
+                            RBL, RBL, Algorithm::DB);
+      p.share_b = true;
+      return make(p, 64, 0.40);
+    }
+    case DeviceId::Bulldozer: {
+      // 48,32,96 / 2,8,16 / 24,4 / 48,2 / vw 2 / stride M / shared B /
+      // CBL,RBL / DB / 37 (32%)
+      KernelParams p = base(Precision::DP, 48, 32, 96, 24, 4, 24, 2, 16, 2,
+                            CBL, RBL, Algorithm::DB);
+      p.stride_m = true;
+      p.share_b = true;
+      return make(p, 37, 0.32);
+    }
+    case DeviceId::Cypress: {
+      // Not in Table II; Section IV-C reports 495 GFlop/s for the tuned
+      // OpenCL DGEMM implementation (92% of 544 is Nakasato's IL kernel).
+      // Seed with a Tahiti-style kernel scaled to Cypress's 32 KB LDS.
+      KernelParams p = base(Precision::DP, 64, 32, 32, 16, 8, 16, 8, 4, 2,
+                            CBL, CBL, Algorithm::BA);
+      p.share_b = true;
+      return make(p, 495, 0.91);
+    }
+  }
+  fail("entry_dp: bad device");
+}
+
+PaperKernelResult entry_sp(DeviceId id) {
+  switch (id) {
+    case DeviceId::Tahiti: {
+      // 96,96,16 / 6,6,2 / 16,16 / vw 1 / stride M / shared A,B /
+      // CBL,CBL / BA / 3047 (80%)
+      KernelParams p = base(Precision::SP, 96, 96, 16, 16, 16, 16, 16, 2, 1,
+                            CBL, CBL, Algorithm::BA);
+      p.stride_m = true;
+      p.share_a = p.share_b = true;
+      return make(p, 3047, 0.80);
+    }
+    case DeviceId::Cayman: {
+      // 128,64,96 / 8,8,24 / 16,8 / vw 4 / stride N / PL / 2167 (80%).
+      // Sharing both matrices at Kwg=96 would need 74 KB of local memory
+      // (Cayman has 32 KB); B-only sharing fits and satisfies PL.
+      KernelParams p = base(Precision::SP, 128, 64, 96, 16, 8, 16, 8, 24, 4,
+                            CBL, CBL, Algorithm::PL);
+      p.stride_n = true;
+      p.share_b = true;
+      return make(p, 2167, 0.80);
+    }
+    case DeviceId::Kepler: {
+      // 64,64,8 / 8,4,8 / 8,16 / 32,4 / 4,32 / vw 2 / stride M /
+      // shared A,B / CBL,CBL / PL / 1440 (49%)
+      KernelParams p = base(Precision::SP, 64, 64, 8, 8, 16, 32, 32, 8, 2,
+                            CBL, CBL, Algorithm::PL);
+      p.stride_m = true;
+      p.share_a = p.share_b = true;
+      return make(p, 1440, 0.49);
+    }
+    case DeviceId::Fermi: {
+      // 64,64,16 / 8,4,16 / 8,16 / 32,4 / 8,16 / vw 2 / stride M,N /
+      // shared B / CBL,CBL / BA / 896 (67%)
+      KernelParams p = base(Precision::SP, 64, 64, 16, 8, 16, 32, 16, 16, 2,
+                            CBL, CBL, Algorithm::BA);
+      p.stride_m = p.stride_n = true;
+      p.share_b = true;
+      return make(p, 896, 0.67);
+    }
+    case DeviceId::SandyBridge: {
+      // 64,64,64 / 8,8,8 / 8,8 / vw 8 / stride M / RBL,RBL / BA / 140 (44%)
+      KernelParams p = base(Precision::SP, 64, 64, 64, 8, 8, 8, 8, 8, 8,
+                            RBL, RBL, Algorithm::BA);
+      p.stride_m = true;
+      return make(p, 140, 0.44);
+    }
+    case DeviceId::Bulldozer: {
+      // 32,48,192 / 4,12,4 / 8,4 / vw 4 / stride M / no local /
+      // CBL,CBL / BA / 87 (38%)
+      KernelParams p = base(Precision::SP, 32, 48, 192, 8, 4, 8, 4, 4, 4,
+                            CBL, CBL, Algorithm::BA);
+      p.stride_m = true;
+      return make(p, 87, 0.38);
+    }
+    case DeviceId::Cypress: {
+      // Not reported; scaled from the Cayman-class VLIW5 architecture.
+      KernelParams p = base(Precision::SP, 64, 64, 32, 16, 8, 16, 8, 8, 4,
+                            CBL, CBL, Algorithm::BA);
+      p.share_b = true;
+      return make(p, 1720, 0.63);
+    }
+  }
+  fail("entry_sp: bad device");
+}
+
+}  // namespace
+
+PaperKernelResult table2_entry(simcl::DeviceId id, Precision prec) {
+  return prec == Precision::DP ? entry_dp(id) : entry_sp(id);
+}
+
+bool has_table2_entry(simcl::DeviceId id) {
+  return id != simcl::DeviceId::Cypress;
+}
+
+}  // namespace gemmtune::codegen

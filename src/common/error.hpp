@@ -1,0 +1,46 @@
+// Error handling for gemmtune.
+//
+// The library reports unrecoverable misuse (bad parameters, out-of-range
+// accesses in the simulator, malformed kernels) through gemmtune::Error,
+// which carries a human-readable message and the source location of the
+// failed check. Recoverable conditions (a candidate kernel that fails
+// validation during tuning) are reported through return values instead.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace gemmtune {
+
+/// Exception thrown on precondition violations and internal invariant
+/// failures anywhere in the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const std::string& msg,
+                               const std::source_location& loc) {
+  throw Error(std::string(loc.file_name()) + ":" +
+              std::to_string(loc.line()) + ": " + msg);
+}
+}  // namespace detail
+
+/// Checks a precondition; throws gemmtune::Error with the caller's source
+/// location when `cond` is false.
+inline void check(bool cond, const std::string& msg,
+                  const std::source_location loc =
+                      std::source_location::current()) {
+  if (!cond) detail::raise(msg, loc);
+}
+
+/// Unconditional failure with message; used for unreachable branches.
+[[noreturn]] inline void fail(const std::string& msg,
+                              const std::source_location loc =
+                                  std::source_location::current()) {
+  detail::raise(msg, loc);
+}
+
+}  // namespace gemmtune

@@ -1,0 +1,74 @@
+// Minimal JSON value type with serializer and parser.
+//
+// Used by the tuner to persist search results (best kernel parameters per
+// device/precision) and by benches to emit machine-readable series. Supports
+// the JSON subset the library emits: objects, arrays, strings, finite
+// numbers, booleans and null; no unicode escapes beyond \uXXXX pass-through.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gemmtune {
+
+/// Tagged-union JSON value with value semantics.
+class Json {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Json() : kind_(Kind::Null) {}
+  Json(std::nullptr_t) : kind_(Kind::Null) {}
+  Json(bool b) : kind_(Kind::Bool), bool_(b) {}
+  Json(double d) : kind_(Kind::Number), num_(d) {}
+  Json(int i) : kind_(Kind::Number), num_(i) {}
+  Json(std::int64_t i) : kind_(Kind::Number), num_(static_cast<double>(i)) {}
+  Json(const char* s) : kind_(Kind::String), str_(s) {}
+  Json(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+
+  /// Creates an empty array / object.
+  static Json array();
+  static Json object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+
+  /// Typed accessors; throw gemmtune::Error on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+
+  /// Array operations.
+  void push_back(Json v);
+  std::size_t size() const;
+  const Json& at(std::size_t i) const;
+
+  /// Object operations. operator[] inserts null on missing key (non-const).
+  Json& operator[](const std::string& key);
+  const Json& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+  const std::map<std::string, Json>& items() const;
+
+  /// Serializes; `indent` > 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = 0) const;
+
+  /// Parses a complete JSON document; throws gemmtune::Error on syntax error.
+  static Json parse(const std::string& text);
+
+  friend bool operator==(const Json& a, const Json& b);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::map<std::string, Json> obj_;
+};
+
+}  // namespace gemmtune

@@ -1,0 +1,34 @@
+// String formatting helpers (GCC 12 lacks std::format; these cover the
+// library's needs: printf-style formatting, joining, simple templating).
+#pragma once
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace gemmtune {
+
+/// printf-style formatting into std::string.
+std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Repeats `s` `n` times.
+std::string repeat(const std::string& s, int n);
+
+/// True when `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(const std::string& s, char delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+/// Formats a GFlop/s value the way the paper's tables do (no decimals above
+/// 100, one decimal below).
+std::string fmt_gflops(double gflops);
+
+}  // namespace gemmtune

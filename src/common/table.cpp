@@ -1,0 +1,88 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace gemmtune {
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  bool digit = false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != '%' && c != 'e' &&
+               c != 'E' && c != ',') {
+      return false;
+    }
+  }
+  return digit;
+}
+}  // namespace
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  check(header_.empty() || row.size() == header_.size(),
+        "row width does not match header");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_rule() { rows_.emplace_back(); }
+
+void TextTable::print(std::ostream& os) const {
+  const std::size_t ncol = header_.size();
+  std::vector<std::size_t> width(ncol, 0);
+  std::vector<bool> numeric(ncol, true);
+  for (std::size_t c = 0; c < ncol; ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (row.empty()) continue;
+    for (std::size_t c = 0; c < ncol; ++c) {
+      width[c] = std::max(width[c], row[c].size());
+      if (!row[c].empty() && !looks_numeric(row[c])) numeric[c] = false;
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < ncol; ++c) {
+      const std::string& cell = row[c];
+      const std::size_t pad = width[c] - cell.size();
+      if (numeric[c] && &row != &header_) {
+        os << " " << std::string(pad, ' ') << cell << " |";
+      } else {
+        os << " " << cell << std::string(pad, ' ') << " |";
+      }
+    }
+    os << "\n";
+  };
+  auto rule = [&]() {
+    os << "|";
+    for (std::size_t c = 0; c < ncol; ++c)
+      os << std::string(width[c] + 2, '-') << "|";
+    os << "\n";
+  };
+  emit(header_);
+  rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      rule();
+    } else {
+      emit(row);
+    }
+  }
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace gemmtune

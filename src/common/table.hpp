@@ -1,0 +1,37 @@
+// Plain-text table printer used by the benchmark harnesses to render the
+// paper's tables (Table I, II, III) and figure series as aligned columns.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gemmtune {
+
+/// Column-aligned ASCII table. Cells are strings; alignment is inferred
+/// per column (numeric-looking columns right-align).
+class TextTable {
+ public:
+  /// Sets the header row (also fixes the column count).
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header's column count.
+  void add_row(std::vector<std::string> row);
+
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  /// Renders the table to `os` with single-space-padded `|` separators.
+  void print(std::ostream& os) const;
+
+  /// Renders to a string (convenience for tests).
+  std::string to_string() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector = rule
+};
+
+}  // namespace gemmtune

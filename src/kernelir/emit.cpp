@@ -1,0 +1,219 @@
+#include "kernelir/emit.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace gemmtune::ir {
+
+namespace {
+
+const char* binop_token(BinOp op) {
+  switch (op) {
+    case BinOp::Add:
+    case BinOp::FAdd: return "+";
+    case BinOp::Sub:
+    case BinOp::FSub: return "-";
+    case BinOp::Mul:
+    case BinOp::FMul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Mod: return "%";
+    case BinOp::Lt: return "<";
+    case BinOp::And: return "&&";
+  }
+  return "?";
+}
+
+const char* builtin_name(BuiltinFn fn) {
+  switch (fn) {
+    case BuiltinFn::GroupId: return "get_group_id";
+    case BuiltinFn::LocalId: return "get_local_id";
+    case BuiltinFn::GlobalId: return "get_global_id";
+    case BuiltinFn::LocalSize: return "get_local_size";
+    case BuiltinFn::NumGroups: return "get_num_groups";
+  }
+  return "?";
+}
+
+char lane_char(int lane) {
+  // OpenCL component letters: .s0 ... .s9, .sa ... .sf
+  return lane < 10 ? static_cast<char>('0' + lane)
+                   : static_cast<char>('a' + lane - 10);
+}
+
+class Emitter {
+ public:
+  explicit Emitter(const Kernel& k) : k_(k) {}
+
+  std::string expr(const ExprPtr& e) const {
+    check(e != nullptr, "emit: null expression");
+    switch (e->kind) {
+      case ExprKind::IntLit:
+        return std::to_string(e->ival);
+      case ExprKind::FpLit: {
+        std::string lit = strf("%g", e->fval);
+        if (lit.find('.') == std::string::npos &&
+            lit.find('e') == std::string::npos)
+          lit += ".0";
+        if (e->type.scalar == Scalar::F32) lit += "f";
+        if (e->type.lanes > 1)
+          return "((" + ocl_name(e->type) + ")(" + lit + "))";
+        return lit;
+      }
+      case ExprKind::VarRef:
+        return sym(e->slot).name;
+      case ExprKind::ArgRef:
+        return k_.args[static_cast<std::size_t>(e->arg)].name;
+      case ExprKind::Builtin:
+        return strf("(int)%s(%d)", builtin_name(e->bfn), e->dim);
+      case ExprKind::Bin:
+        return "(" + expr(e->kids[0]) + " " + binop_token(e->bop) + " " +
+               expr(e->kids[1]) + ")";
+      case ExprKind::Mad:
+        return "mad(" + expr(e->kids[0]) + ", " + expr(e->kids[1]) + ", " +
+               expr(e->kids[2]) + ")";
+      case ExprKind::Splat:
+        return "((" + ocl_name(e->type) + ")(" + expr(e->kids[0]) + "))";
+      case ExprKind::Lane:
+        return "(" + expr(e->kids[0]) + ").s" +
+               std::string(1, lane_char(e->lane));
+      case ExprKind::LoadGlobal:
+        return load_text(k_.args[static_cast<std::size_t>(e->arg)].name, e);
+      case ExprKind::LoadLocal:
+      case ExprKind::LoadPrivate:
+        return load_text(sym(e->slot).name, e);
+      case ExprKind::Select:
+        return "(" + expr(e->kids[0]) + " ? " + expr(e->kids[1]) + " : " +
+               expr(e->kids[2]) + ")";
+    }
+    fail("emit: bad expression kind");
+  }
+
+  void stmt(const StmtPtr& s, int depth) {
+    const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+    switch (s->kind) {
+      case StmtKind::Assign:
+        line(pad + sym(s->slot).name + " = " + expr(s->a) + ";");
+        break;
+      case StmtKind::StorePrivate:
+      case StmtKind::StoreLocal:
+        line(pad + store_text(sym(s->slot).name, s));
+        break;
+      case StmtKind::StoreGlobal:
+        line(pad +
+             store_text(k_.args[static_cast<std::size_t>(s->arg)].name, s));
+        break;
+      case StmtKind::For: {
+        const std::string v = sym(s->slot).name;
+        line(pad + "for (" + v + " = " + expr(s->a) + "; " + v + " < " +
+             expr(s->b) + "; " + v + " += " + expr(s->c) + ") {");
+        for (const auto& inner : s->body) stmt(inner, depth + 1);
+        line(pad + "}");
+        break;
+      }
+      case StmtKind::If: {
+        line(pad + "if (" + expr(s->a) + ") {");
+        for (const auto& inner : s->body) stmt(inner, depth + 1);
+        line(pad + "}");
+        break;
+      }
+      case StmtKind::Barrier:
+        line(pad + "barrier(CLK_LOCAL_MEM_FENCE);");
+        break;
+      case StmtKind::Comment:
+        line(pad + "/* " + s->text + " */");
+        break;
+    }
+  }
+
+  std::string run() {
+    if (k_.precision == Scalar::F64)
+      line("#pragma OPENCL EXTENSION cl_khr_fp64 : enable");
+    line("");
+    std::string attr;
+    if (k_.reqd_local[0] > 0)
+      attr = strf("__attribute__((reqd_work_group_size(%lld, %lld, 1)))\n",
+                  static_cast<long long>(k_.reqd_local[0]),
+                  static_cast<long long>(k_.reqd_local[1]));
+    std::vector<std::string> params;
+    for (const auto& a : k_.args) {
+      switch (a.kind) {
+        case ArgKind::GlobalPtr:
+          params.push_back("__global " + ocl_name({a.elem, 1}) + "* " +
+                           a.name);
+          break;
+        case ArgKind::GlobalConstPtr:
+          params.push_back("__global const " + ocl_name({a.elem, 1}) + "* " +
+                           a.name);
+          break;
+        case ArgKind::Int:
+          params.push_back("const int " + a.name);
+          break;
+        case ArgKind::Float:
+          params.push_back("const " + ocl_name({a.elem, 1}) + " " + a.name);
+          break;
+      }
+    }
+    line("__kernel " + attr + "void " + k_.name + "(" + join(params, ", ") +
+         ")");
+    line("{");
+    // Declarations: local arrays first, then private arrays, then variables.
+    for (const auto& sym : k_.symbols) {
+      if (sym.array_len > 0 && sym.space == AddrSpace::Local)
+        line(strf("  __local %s %s[%d];", ocl_name(sym.type).c_str(),
+                  sym.name.c_str(), sym.array_len));
+    }
+    for (const auto& sym : k_.symbols) {
+      if (sym.array_len > 0 && sym.space == AddrSpace::Private)
+        line(strf("  %s %s[%d];", ocl_name(sym.type).c_str(),
+                  sym.name.c_str(), sym.array_len));
+    }
+    for (const auto& sym : k_.symbols) {
+      if (sym.array_len == 0)
+        line("  " + ocl_name(sym.type) + " " + sym.name + ";");
+    }
+    line("");
+    for (const auto& s : k_.body) stmt(s, 1);
+    line("}");
+    return std::move(out_);
+  }
+
+ private:
+  const Symbol& sym(int slot) const {
+    check(slot >= 0 && slot < static_cast<int>(k_.symbols.size()),
+          "emit: bad symbol slot");
+    return k_.symbols[static_cast<std::size_t>(slot)];
+  }
+
+  std::string load_text(const std::string& base, const ExprPtr& e) const {
+    const std::string idx = expr(e->kids[0]);
+    if (e->type.lanes == 1) return base + "[" + idx + "]";
+    return strf("vload%d(0, %s + %s)", e->type.lanes, base.c_str(),
+                idx.c_str());
+  }
+
+  std::string store_text(const std::string& base, const StmtPtr& s) const {
+    const std::string idx = expr(s->a);
+    const std::string val = expr(s->b);
+    if (s->b->type.lanes == 1) return base + "[" + idx + "] = " + val + ";";
+    return strf("vstore%d(%s, 0, %s + %s);", s->b->type.lanes, val.c_str(),
+                base.c_str(), idx.c_str());
+  }
+
+  void line(const std::string& s) {
+    out_ += s;
+    out_ += '\n';
+  }
+
+  const Kernel& k_;
+  std::string out_;
+};
+
+}  // namespace
+
+std::string emit_opencl(const Kernel& kernel) { return Emitter(kernel).run(); }
+
+std::string emit_expr(const Kernel& kernel, const ExprPtr& e) {
+  return Emitter(kernel).expr(e);
+}
+
+}  // namespace gemmtune::ir

@@ -1,0 +1,21 @@
+// OpenCL C source emitter.
+//
+// Prints an IR kernel as a complete OpenCL C kernel function — the artifact
+// the paper's code generator produces. The text is what a real OpenCL
+// runtime would compile; the interpreter executes the same IR, so emitted
+// source and tested semantics cannot diverge.
+#pragma once
+
+#include <string>
+
+#include "kernelir/kernel.hpp"
+
+namespace gemmtune::ir {
+
+/// Renders the kernel as OpenCL C.
+std::string emit_opencl(const Kernel& kernel);
+
+/// Renders a single expression (exposed for tests).
+std::string emit_expr(const Kernel& kernel, const ExprPtr& e);
+
+}  // namespace gemmtune::ir

@@ -1,0 +1,68 @@
+// Lockstep work-group interpreter for IR kernels.
+//
+// Executes a kernel over a two-dimensional NDRange against SimCL buffers,
+// with OpenCL memory semantics:
+//  * private variables / arrays per work-item,
+//  * local arrays per work-group,
+//  * global memory = SimCL buffers.
+//
+// Work-groups run sequentially; within a group, every statement executes
+// across all work-items before the next statement ("lockstep"). This is a
+// valid execution of any kernel whose loop bounds are work-group uniform
+// and whose barriers are in uniform control flow — exactly the shape of the
+// paper's generated GEMM kernels. The interpreter *verifies* loop-bound
+// uniformity at run time and rejects non-uniform loops, so the restriction
+// is checked, not assumed.
+//
+// Single-precision kernels round every arithmetic result to float, so the
+// interpreter bit-matches what an SP device would compute (modulo fma
+// contraction, which mad() permits anyway).
+//
+// The interpreter also counts dynamic work: flops, bytes moved per address
+// space, barrier executions. These counters anchor the analytic performance
+// model (tests cross-check the model's static formulas against them).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "kernelir/kernel.hpp"
+#include "simcl/runtime.hpp"
+
+namespace gemmtune::ir {
+
+/// One bound kernel argument: a buffer for pointer args, or a scalar.
+struct ArgValue {
+  simcl::BufferPtr buffer;  ///< set for GlobalPtr / GlobalConstPtr args
+  std::int64_t i = 0;       ///< set for Int args
+  double f = 0;             ///< set for Float args
+
+  static ArgValue of(simcl::BufferPtr b) { return {std::move(b), 0, 0}; }
+  static ArgValue of_int(std::int64_t v) { return {nullptr, v, 0}; }
+  static ArgValue of_float(double v) { return {nullptr, 0, v}; }
+};
+
+/// Dynamic execution counters accumulated over a launch.
+struct Counters {
+  std::uint64_t flops = 0;              ///< floating ops (mad = 2)
+  std::uint64_t mads = 0;               ///< mad instructions executed
+  std::uint64_t global_load_bytes = 0;
+  std::uint64_t global_store_bytes = 0;
+  std::uint64_t local_load_bytes = 0;
+  std::uint64_t local_store_bytes = 0;
+  std::uint64_t barriers = 0;           ///< per work-group barrier executions
+  std::uint64_t work_groups = 0;
+  std::uint64_t work_items = 0;
+};
+
+/// Executes `kernel` over `global` work-items in groups of `local`.
+/// `global[d]` must be a positive multiple of `local[d]`; when the kernel
+/// declares a required work-group size it must match `local`. Throws
+/// gemmtune::Error on malformed kernels, out-of-range accesses, or
+/// non-uniform loop bounds. Returns the dynamic counters.
+Counters launch(const Kernel& kernel, std::array<std::int64_t, 2> global,
+                std::array<std::int64_t, 2> local,
+                const std::vector<ArgValue>& args);
+
+}  // namespace gemmtune::ir

@@ -1,0 +1,133 @@
+// Expression and statement nodes of the kernel IR.
+//
+// The GEMM code generator builds kernels in this IR; the emitter
+// (emit.hpp) prints them as OpenCL C and the interpreter (interp.hpp)
+// executes them with work-group lockstep semantics. Keeping a single IR as
+// the source of truth guarantees that the OpenCL text we ship and the
+// semantics we test are the same program.
+//
+// The IR is deliberately scoped to what auto-generated GEMM kernels need:
+// work-group-uniform `for` loops, barriers, loads/stores on the three
+// OpenCL address spaces, integer addressing arithmetic, and lane-wise
+// floating vector math with mad().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernelir/types.hpp"
+
+namespace gemmtune::ir {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+struct Stmt;
+using StmtPtr = std::shared_ptr<const Stmt>;
+
+/// Expression node kinds.
+enum class ExprKind {
+  IntLit,      ///< integer literal
+  FpLit,       ///< floating literal (splatted if type is vector)
+  VarRef,      ///< read of a private scalar/vector variable
+  ArgRef,      ///< read of a scalar kernel argument (Int or Float)
+  Builtin,     ///< get_group_id / get_local_id / ... (dim in `dim`)
+  Bin,         ///< binary op (kids[0], kids[1])
+  Mad,         ///< mad(kids[0], kids[1], kids[2]) — lane-wise fused a*b+c
+  Splat,       ///< broadcast scalar kids[0] to a vector
+  Lane,        ///< extract lane `lane` of vector kids[0]
+  LoadGlobal,  ///< vector load of `type.lanes` consecutive elements from a
+               ///< __global kernel argument at scalar-element index kids[0]
+  LoadLocal,   ///< same, from a __local array (symbol `slot`)
+  LoadPrivate, ///< same, from a private array (symbol `slot`)
+  Select       ///< kids[0] ? kids[1] : kids[2]; cond is int scalar (0/1)
+};
+
+/// Binary operators. Integer ops work on scalar ints; F-ops are lane-wise
+/// on equal-width floating vectors.
+enum class BinOp {
+  Add, Sub, Mul, Div, Mod,      // integer arithmetic
+  Lt, And,                      // integer comparison / logical-and (0/1)
+  FAdd, FSub, FMul              // lane-wise floating arithmetic
+};
+
+/// OpenCL work-item builtins. Only dimensions 0 and 1 appear (the paper
+/// uses a two-dimensional NDRange).
+enum class BuiltinFn { GroupId, LocalId, GlobalId, LocalSize, NumGroups };
+
+/// Immutable expression node.
+struct Expr {
+  ExprKind kind;
+  Type type;
+  std::int64_t ival = 0;   ///< IntLit
+  double fval = 0;         ///< FpLit
+  int slot = -1;           ///< VarRef / LoadLocal / LoadPrivate symbol slot
+  int dim = 0;             ///< Builtin dimension
+  BinOp bop = BinOp::Add;
+  BuiltinFn bfn = BuiltinFn::GroupId;
+  int lane = 0;            ///< Lane index
+  int arg = -1;            ///< LoadGlobal kernel-argument index
+  std::vector<ExprPtr> kids;
+};
+
+/// Statement node kinds.
+enum class StmtKind {
+  Assign,        ///< private variable (slot) = a
+  StorePrivate,  ///< private array slot[index a] = b (vector-wide)
+  StoreLocal,    ///< local array slot[index a] = b
+  StoreGlobal,   ///< global arg[index a] = b
+  For,           ///< for (var slot = a; var < b; var += c) body
+  If,            ///< if (a != 0) body — may diverge across work-items;
+                 ///< barriers inside a divergent region are rejected
+  Barrier,       ///< barrier(CLK_LOCAL_MEM_FENCE)
+  Comment        ///< emitter-only annotation
+};
+
+/// Statement node. `For` loop bounds must be work-group uniform; the
+/// interpreter verifies this at run time.
+struct Stmt {
+  StmtKind kind;
+  int slot = -1;
+  int arg = -1;
+  ExprPtr a, b, c;
+  std::vector<StmtPtr> body;
+  std::string text;
+};
+
+// ---- expression constructors -------------------------------------------
+
+ExprPtr iconst(std::int64_t v);
+ExprPtr fconst(double v, Type t);
+ExprPtr var_ref(int slot, Type t);
+ExprPtr arg_ref(int arg, Type t);
+ExprPtr builtin(BuiltinFn fn, int dim);
+ExprPtr bin(BinOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr mad(ExprPtr a, ExprPtr b, ExprPtr c);
+ExprPtr splat(ExprPtr scalar, int lanes);
+ExprPtr lane(ExprPtr vec, int idx);
+ExprPtr load_global(int arg, ExprPtr index, Type t);
+ExprPtr load_local(int slot, ExprPtr index, Type t);
+ExprPtr load_private(int slot, ExprPtr index, Type t);
+ExprPtr select(ExprPtr cond, ExprPtr when_true, ExprPtr when_false);
+
+// Integer convenience wrappers used heavily by the code generator.
+inline ExprPtr operator+(ExprPtr a, ExprPtr b) { return bin(BinOp::Add, a, b); }
+inline ExprPtr operator-(ExprPtr a, ExprPtr b) { return bin(BinOp::Sub, a, b); }
+inline ExprPtr operator*(ExprPtr a, ExprPtr b) { return bin(BinOp::Mul, a, b); }
+inline ExprPtr operator+(ExprPtr a, std::int64_t b) { return a + iconst(b); }
+inline ExprPtr operator*(ExprPtr a, std::int64_t b) { return a * iconst(b); }
+
+// ---- statement constructors ----------------------------------------------
+
+StmtPtr assign(int slot, ExprPtr value);
+StmtPtr store_private(int slot, ExprPtr index, ExprPtr value);
+StmtPtr store_local(int slot, ExprPtr index, ExprPtr value);
+StmtPtr store_global(int arg, ExprPtr index, ExprPtr value);
+StmtPtr for_loop(int slot, ExprPtr init, ExprPtr limit, ExprPtr step,
+                 std::vector<StmtPtr> body);
+StmtPtr if_then(ExprPtr cond, std::vector<StmtPtr> body);
+StmtPtr barrier();
+StmtPtr comment(std::string text);
+
+}  // namespace gemmtune::ir

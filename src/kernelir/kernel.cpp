@@ -1,0 +1,315 @@
+#include "kernelir/kernel.hpp"
+
+#include "common/error.hpp"
+
+namespace gemmtune::ir {
+
+// ---- expression constructors ---------------------------------------------
+
+namespace {
+ExprPtr make(Expr e) { return std::make_shared<Expr>(std::move(e)); }
+}  // namespace
+
+ExprPtr iconst(std::int64_t v) {
+  Expr e;
+  e.kind = ExprKind::IntLit;
+  e.type = i32();
+  e.ival = v;
+  return make(std::move(e));
+}
+
+ExprPtr fconst(double v, Type t) {
+  check(t.is_fp(), "fconst: integer type");
+  Expr e;
+  e.kind = ExprKind::FpLit;
+  e.type = t;
+  e.fval = v;
+  return make(std::move(e));
+}
+
+ExprPtr var_ref(int slot, Type t) {
+  Expr e;
+  e.kind = ExprKind::VarRef;
+  e.type = t;
+  e.slot = slot;
+  return make(std::move(e));
+}
+
+ExprPtr arg_ref(int arg, Type t) {
+  check(t.lanes == 1, "arg_ref: scalar arguments only");
+  Expr e;
+  e.kind = ExprKind::ArgRef;
+  e.type = t;
+  e.arg = arg;
+  return make(std::move(e));
+}
+
+ExprPtr builtin(BuiltinFn fn, int dim) {
+  check(dim == 0 || dim == 1, "builtin: dimension must be 0 or 1");
+  Expr e;
+  e.kind = ExprKind::Builtin;
+  e.type = i32();
+  e.bfn = fn;
+  e.dim = dim;
+  return make(std::move(e));
+}
+
+ExprPtr bin(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+  check(lhs && rhs, "bin: null operand");
+  const bool int_op = op == BinOp::Add || op == BinOp::Sub ||
+                      op == BinOp::Mul || op == BinOp::Div ||
+                      op == BinOp::Mod || op == BinOp::Lt ||
+                      op == BinOp::And;
+  if (int_op) {
+    check(!lhs->type.is_fp() && !rhs->type.is_fp(),
+          "bin: integer op on floating operands");
+  } else {
+    check(lhs->type.is_fp() && lhs->type == rhs->type,
+          "bin: floating op needs matching floating types");
+  }
+  Expr e;
+  e.kind = ExprKind::Bin;
+  e.type = lhs->type;
+  e.bop = op;
+  e.kids = {std::move(lhs), std::move(rhs)};
+  return make(std::move(e));
+}
+
+ExprPtr mad(ExprPtr a, ExprPtr b, ExprPtr c) {
+  check(a && b && c, "mad: null operand");
+  check(a->type.is_fp() && a->type == b->type && a->type == c->type,
+        "mad: operands must share a floating type");
+  Expr e;
+  e.kind = ExprKind::Mad;
+  e.type = a->type;
+  e.kids = {std::move(a), std::move(b), std::move(c)};
+  return make(std::move(e));
+}
+
+ExprPtr splat(ExprPtr scalar, int lanes) {
+  check(scalar && scalar->type.is_fp() && scalar->type.lanes == 1,
+        "splat: needs a floating scalar");
+  if (lanes == 1) return scalar;
+  Expr e;
+  e.kind = ExprKind::Splat;
+  e.type = fp(scalar->type.scalar, lanes);
+  e.kids = {std::move(scalar)};
+  return make(std::move(e));
+}
+
+ExprPtr lane(ExprPtr vec, int idx) {
+  check(vec && vec->type.is_fp(), "lane: needs a floating vector");
+  check(idx >= 0 && idx < vec->type.lanes, "lane: index out of range");
+  if (vec->type.lanes == 1) return vec;
+  Expr e;
+  e.kind = ExprKind::Lane;
+  e.type = fp(vec->type.scalar, 1);
+  e.lane = idx;
+  e.kids = {std::move(vec)};
+  return make(std::move(e));
+}
+
+namespace {
+ExprPtr load(ExprKind kind, int slot_or_arg, ExprPtr index, Type t) {
+  check(index && !index->type.is_fp(), "load: index must be integer");
+  check(t.is_fp(), "load: integer loads unsupported");
+  Expr e;
+  e.kind = kind;
+  e.type = t;
+  if (kind == ExprKind::LoadGlobal) {
+    e.arg = slot_or_arg;
+  } else {
+    e.slot = slot_or_arg;
+  }
+  e.kids = {std::move(index)};
+  return make(std::move(e));
+}
+}  // namespace
+
+ExprPtr select(ExprPtr cond, ExprPtr when_true, ExprPtr when_false) {
+  check(cond && when_true && when_false, "select: null operand");
+  check(!cond->type.is_fp() && cond->type.lanes == 1,
+        "select: condition must be an int scalar");
+  check(when_true->type == when_false->type,
+        "select: branch types must match");
+  Expr e;
+  e.kind = ExprKind::Select;
+  e.type = when_true->type;
+  e.kids = {std::move(cond), std::move(when_true), std::move(when_false)};
+  return make(std::move(e));
+}
+
+ExprPtr load_global(int arg, ExprPtr index, Type t) {
+  return load(ExprKind::LoadGlobal, arg, std::move(index), t);
+}
+ExprPtr load_local(int slot, ExprPtr index, Type t) {
+  return load(ExprKind::LoadLocal, slot, std::move(index), t);
+}
+ExprPtr load_private(int slot, ExprPtr index, Type t) {
+  return load(ExprKind::LoadPrivate, slot, std::move(index), t);
+}
+
+// ---- statement constructors -----------------------------------------------
+
+namespace {
+StmtPtr make(Stmt s) { return std::make_shared<Stmt>(std::move(s)); }
+}  // namespace
+
+StmtPtr assign(int slot, ExprPtr value) {
+  check(value != nullptr, "assign: null value");
+  Stmt s;
+  s.kind = StmtKind::Assign;
+  s.slot = slot;
+  s.a = std::move(value);
+  return make(std::move(s));
+}
+
+namespace {
+StmtPtr store(StmtKind kind, int slot_or_arg, ExprPtr index, ExprPtr value) {
+  check(index && value, "store: null operand");
+  check(!index->type.is_fp(), "store: index must be integer");
+  check(value->type.is_fp(), "store: value must be floating");
+  Stmt s;
+  s.kind = kind;
+  if (kind == StmtKind::StoreGlobal) {
+    s.arg = slot_or_arg;
+  } else {
+    s.slot = slot_or_arg;
+  }
+  s.a = std::move(index);
+  s.b = std::move(value);
+  return make(std::move(s));
+}
+}  // namespace
+
+StmtPtr store_private(int slot, ExprPtr index, ExprPtr value) {
+  return store(StmtKind::StorePrivate, slot, std::move(index),
+               std::move(value));
+}
+StmtPtr store_local(int slot, ExprPtr index, ExprPtr value) {
+  return store(StmtKind::StoreLocal, slot, std::move(index),
+               std::move(value));
+}
+StmtPtr store_global(int arg, ExprPtr index, ExprPtr value) {
+  return store(StmtKind::StoreGlobal, arg, std::move(index),
+               std::move(value));
+}
+
+StmtPtr for_loop(int slot, ExprPtr init, ExprPtr limit, ExprPtr step,
+                 std::vector<StmtPtr> body) {
+  check(init && limit && step, "for_loop: null bound");
+  Stmt s;
+  s.kind = StmtKind::For;
+  s.slot = slot;
+  s.a = std::move(init);
+  s.b = std::move(limit);
+  s.c = std::move(step);
+  s.body = std::move(body);
+  return make(std::move(s));
+}
+
+StmtPtr if_then(ExprPtr cond, std::vector<StmtPtr> body) {
+  check(cond && !cond->type.is_fp() && cond->type.lanes == 1,
+        "if_then: condition must be an int scalar");
+  Stmt s;
+  s.kind = StmtKind::If;
+  s.a = std::move(cond);
+  s.body = std::move(body);
+  return make(std::move(s));
+}
+
+StmtPtr barrier() {
+  Stmt s;
+  s.kind = StmtKind::Barrier;
+  return make(std::move(s));
+}
+
+StmtPtr comment(std::string text) {
+  Stmt s;
+  s.kind = StmtKind::Comment;
+  s.text = std::move(text);
+  return make(std::move(s));
+}
+
+// ---- Kernel ----------------------------------------------------------------
+
+std::int64_t Kernel::local_mem_bytes() const {
+  std::int64_t bytes = 0;
+  for (const auto& sym : symbols) {
+    if (sym.array_len > 0 && sym.space == AddrSpace::Local)
+      bytes += static_cast<std::int64_t>(sym.array_len) *
+               scalar_bytes(sym.type.scalar);
+  }
+  return bytes;
+}
+
+std::int64_t Kernel::private_scalars() const {
+  std::int64_t n = 0;
+  for (const auto& sym : symbols) {
+    if (sym.space != AddrSpace::Private) continue;
+    n += sym.array_len > 0 ? sym.array_len : sym.type.lanes;
+  }
+  return n;
+}
+
+// ---- KernelBuilder ----------------------------------------------------------
+
+KernelBuilder::KernelBuilder(std::string name, Scalar precision) {
+  k_.name = std::move(name);
+  k_.precision = precision;
+}
+
+int KernelBuilder::add_arg(const std::string& name, ArgKind kind,
+                           Scalar elem) {
+  check(!built_, "KernelBuilder: already built");
+  k_.args.push_back({name, kind, elem});
+  return static_cast<int>(k_.args.size()) - 1;
+}
+
+int KernelBuilder::decl_var(const std::string& name, Type t) {
+  check(!built_, "KernelBuilder: already built");
+  Symbol sym{name, t, 0, AddrSpace::Private, n_priv_vars_++};
+  k_.symbols.push_back(std::move(sym));
+  return static_cast<int>(k_.symbols.size()) - 1;
+}
+
+int KernelBuilder::decl_array(const std::string& name, Scalar elem, int len,
+                              AddrSpace space) {
+  check(!built_, "KernelBuilder: already built");
+  check(len > 0, "decl_array: empty array");
+  const int storage =
+      space == AddrSpace::Private ? n_priv_arrays_++ : n_local_arrays_++;
+  Symbol sym{name, fp(elem, 1), len, space, storage};
+  k_.symbols.push_back(std::move(sym));
+  return static_cast<int>(k_.symbols.size()) - 1;
+}
+
+ExprPtr KernelBuilder::ref(int slot) const {
+  const Symbol& sym = symbol(slot);
+  check(sym.array_len == 0, "ref: symbol is an array");
+  return var_ref(slot, sym.type);
+}
+
+void KernelBuilder::set_reqd_local(std::int64_t x, std::int64_t y) {
+  k_.reqd_local[0] = x;
+  k_.reqd_local[1] = y;
+}
+
+void KernelBuilder::append(StmtPtr s) {
+  check(!built_, "KernelBuilder: already built");
+  k_.body.push_back(std::move(s));
+}
+
+Kernel KernelBuilder::build() {
+  check(!built_, "KernelBuilder: already built");
+  built_ = true;
+  return std::move(k_);
+}
+
+const Symbol& KernelBuilder::symbol(int slot) const {
+  check(slot >= 0 && slot < static_cast<int>(k_.symbols.size()),
+        "symbol: bad slot");
+  return k_.symbols[static_cast<std::size_t>(slot)];
+}
+
+}  // namespace gemmtune::ir

@@ -1,0 +1,92 @@
+// Kernel container and builder.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernelir/ir.hpp"
+
+namespace gemmtune::ir {
+
+/// Kernel argument kinds (subset of OpenCL: global pointers and scalars).
+enum class ArgKind { GlobalPtr, GlobalConstPtr, Int, Float };
+
+/// One kernel argument.
+struct ArgInfo {
+  std::string name;
+  ArgKind kind = ArgKind::Int;
+  Scalar elem = Scalar::I32;  ///< pointee/scalar element type
+};
+
+/// Address space of an IR symbol.
+enum class AddrSpace { Private, Local };
+
+/// A declared symbol: either a private scalar/vector variable
+/// (array_len == 0) or an array of scalar elements in private or local
+/// memory (array_len > 0; vector access uses vload/vstore semantics).
+struct Symbol {
+  std::string name;
+  Type type;           ///< variable type, or array *element* scalar type
+  int array_len = 0;   ///< 0 => plain variable
+  AddrSpace space = AddrSpace::Private;
+  int storage = -1;    ///< interpreter storage index within its class
+};
+
+/// A complete kernel: signature, symbol table, and body.
+struct Kernel {
+  std::string name;
+  Scalar precision = Scalar::F64;  ///< element type of the GEMM
+  std::vector<ArgInfo> args;
+  std::vector<Symbol> symbols;
+  std::vector<StmtPtr> body;
+  std::int64_t reqd_local[2] = {0, 0};  ///< required work-group size (x, y)
+
+  /// Total local-memory bytes declared by the kernel.
+  std::int64_t local_mem_bytes() const;
+
+  /// Estimated private elements (scalars) per work-item: plain variables
+  /// (lanes each) plus private arrays. A proxy for register pressure, used
+  /// by the occupancy model (paper Section III-A on unrolling/registers).
+  std::int64_t private_scalars() const;
+};
+
+/// Incrementally builds a Kernel: interns symbols/arguments, hands out
+/// slots, and assigns interpreter storage indices.
+class KernelBuilder {
+ public:
+  explicit KernelBuilder(std::string name, Scalar precision);
+
+  /// Adds a kernel argument; returns its argument index.
+  int add_arg(const std::string& name, ArgKind kind, Scalar elem);
+
+  /// Declares a private variable; returns its symbol slot.
+  int decl_var(const std::string& name, Type t);
+
+  /// Declares an array of `len` scalar elements; returns its symbol slot.
+  int decl_array(const std::string& name, Scalar elem, int len,
+                 AddrSpace space);
+
+  /// Reads a declared variable.
+  ExprPtr ref(int slot) const;
+
+  /// Sets the required work-group size.
+  void set_reqd_local(std::int64_t x, std::int64_t y);
+
+  /// Appends a top-level statement.
+  void append(StmtPtr s);
+
+  /// Finalizes and returns the kernel.
+  Kernel build();
+
+  const Symbol& symbol(int slot) const;
+
+ private:
+  Kernel k_;
+  int n_priv_vars_ = 0;
+  int n_priv_arrays_ = 0;
+  int n_local_arrays_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace gemmtune::ir

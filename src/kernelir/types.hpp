@@ -1,0 +1,56 @@
+// Scalar and vector types of the kernel IR.
+//
+// The IR supports the value types the paper's generated kernels use: 32-bit
+// ints for addressing, float/double scalars, and OpenCL vector variables of
+// width 2..16 ("Vector width" parameter, Section III-B).
+#pragma once
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace gemmtune::ir {
+
+/// Element scalar kinds.
+enum class Scalar { I32, F32, F64 };
+
+/// A possibly-vector type: `lanes` is 1 for scalars, or an OpenCL vector
+/// width (2, 4, 8, 16). Integers are always scalar in generated kernels.
+struct Type {
+  Scalar scalar = Scalar::I32;
+  int lanes = 1;
+
+  bool is_fp() const { return scalar != Scalar::I32; }
+  bool operator==(const Type&) const = default;
+};
+
+/// Scalar int type.
+inline Type i32() { return {Scalar::I32, 1}; }
+
+/// Floating type of the given precision and lane count.
+inline Type fp(Scalar s, int lanes = 1) {
+  check(s != Scalar::I32, "fp(): integer scalar");
+  check(lanes == 1 || lanes == 2 || lanes == 4 || lanes == 8 || lanes == 16,
+        "fp(): invalid vector width");
+  return {s, lanes};
+}
+
+/// Element size in bytes.
+inline int scalar_bytes(Scalar s) { return s == Scalar::F64 ? 8 : 4; }
+
+/// OpenCL C spelling of a type ("double2", "float", "int").
+inline std::string ocl_name(const Type& t) {
+  std::string base;
+  switch (t.scalar) {
+    case Scalar::I32: base = "int"; break;
+    case Scalar::F32: base = "float"; break;
+    case Scalar::F64: base = "double"; break;
+  }
+  if (t.lanes > 1) base += std::to_string(t.lanes);
+  return base;
+}
+
+/// Maximum vector width the IR supports.
+inline constexpr int kMaxLanes = 16;
+
+}  // namespace gemmtune::ir

@@ -1,0 +1,103 @@
+// Block-major data layouts for kernel operand buffers (paper Section III-D,
+// Fig. 3).
+//
+// The tuned kernel computes C <- alpha * A^T * B + beta * C, where the A
+// operand buffer holds A^T as a K x M matrix and the B operand buffer holds
+// B as a K x N matrix. Three layouts are supported for each operand:
+//
+//  * RowMajor — element (k, m) at k * Mp + m.
+//  * CBL (column-block-row-major) — the matrix is cut into K x Mwg column
+//    blocks; each block is stored contiguously in row-major order. All data
+//    a work-group needs for one column block is contiguous.
+//  * RBL (row-block-row-major) — the matrix is cut into Kwg x Mwg sub-blocks
+//    (row-blocks of height Kwg, each split into Mwg-wide tiles); each
+//    sub-block is stored contiguously in row-major order. All data for one
+//    outer-loop iteration of a work-group is contiguous.
+//
+// The same math applies to the B operand with (Kwg, Nwg) blocking.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/intmath.hpp"
+
+namespace gemmtune {
+
+/// Operand buffer layout (paper Fig. 3).
+enum class BlockLayout { RowMajor, CBL, RBL };
+
+/// Short name as the paper prints it in Table II.
+inline const char* to_string(BlockLayout l) {
+  switch (l) {
+    case BlockLayout::RowMajor: return "RM";
+    case BlockLayout::CBL: return "CBL";
+    case BlockLayout::RBL: return "RBL";
+  }
+  return "?";
+}
+
+/// Parses the short name produced by to_string.
+BlockLayout block_layout_from_string(const std::string& s);
+
+/// Index math for one packed operand: a (padded) `rows x cols` matrix laid
+/// out with `rblock x cblock` blocking. For operand A this is the K x M
+/// transposed matrix with (Kwg, Mwg); for operand B the K x N matrix with
+/// (Kwg, Nwg). Extents must be multiples of the blocking factors (the pack
+/// step zero-pads to guarantee this).
+class PackedIndexer {
+ public:
+  PackedIndexer(BlockLayout layout, std::int64_t rows, std::int64_t cols,
+                std::int64_t rblock, std::int64_t cblock)
+      : layout_(layout),
+        rows_(rows),
+        cols_(cols),
+        rblock_(rblock),
+        cblock_(cblock) {
+    check(rows > 0 && cols > 0, "PackedIndexer: empty matrix");
+    check(rblock > 0 && cblock > 0, "PackedIndexer: bad blocking");
+    check(divides(rblock, rows) && divides(cblock, cols),
+          "PackedIndexer: extents must be multiples of blocking factors");
+  }
+
+  BlockLayout layout() const { return layout_; }
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+
+  /// Total elements in the packed buffer (identical for all layouts).
+  std::int64_t size() const { return rows_ * cols_; }
+
+  /// Linear offset of logical element (r, c).
+  std::int64_t at(std::int64_t r, std::int64_t c) const {
+    check(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+          "PackedIndexer: index out of range");
+    switch (layout_) {
+      case BlockLayout::RowMajor:
+        return r * cols_ + c;
+      case BlockLayout::CBL: {
+        const std::int64_t cb = c / cblock_;
+        const std::int64_t cc = c % cblock_;
+        return cb * (rows_ * cblock_) + r * cblock_ + cc;
+      }
+      case BlockLayout::RBL: {
+        const std::int64_t rb = r / rblock_;
+        const std::int64_t rr = r % rblock_;
+        const std::int64_t cb = c / cblock_;
+        const std::int64_t cc = c % cblock_;
+        return rb * (rblock_ * cols_) + cb * (rblock_ * cblock_) +
+               rr * cblock_ + cc;
+      }
+    }
+    fail("PackedIndexer: bad layout");
+  }
+
+ private:
+  BlockLayout layout_;
+  std::int64_t rows_;
+  std::int64_t cols_;
+  std::int64_t rblock_;
+  std::int64_t cblock_;
+};
+
+}  // namespace gemmtune

@@ -1,0 +1,44 @@
+// The four GEMM multiplication types (paper Section III):
+//   NN: C <- alpha*A*B + beta*C       NT: C <- alpha*A*B^T + beta*C
+//   TN: C <- alpha*A^T*B + beta*C     TT: C <- alpha*A^T*B^T + beta*C
+#pragma once
+
+#include <array>
+
+#include "layout/matrix.hpp"
+
+namespace gemmtune {
+
+enum class GemmType { NN, NT, TN, TT };
+
+inline const char* to_string(GemmType t) {
+  switch (t) {
+    case GemmType::NN: return "NN";
+    case GemmType::NT: return "NT";
+    case GemmType::TN: return "TN";
+    case GemmType::TT: return "TT";
+  }
+  return "?";
+}
+
+inline std::array<GemmType, 4> all_gemm_types() {
+  return {GemmType::NN, GemmType::NT, GemmType::TN, GemmType::TT};
+}
+
+inline Transpose trans_a(GemmType t) {
+  return (t == GemmType::TN || t == GemmType::TT) ? Transpose::Yes
+                                                  : Transpose::No;
+}
+
+inline Transpose trans_b(GemmType t) {
+  return (t == GemmType::NT || t == GemmType::TT) ? Transpose::Yes
+                                                  : Transpose::No;
+}
+
+inline GemmType gemm_type_of(Transpose ta, Transpose tb) {
+  if (ta == Transpose::No)
+    return tb == Transpose::No ? GemmType::NN : GemmType::NT;
+  return tb == Transpose::No ? GemmType::TN : GemmType::TT;
+}
+
+}  // namespace gemmtune

@@ -1,0 +1,96 @@
+#include "layout/packing.hpp"
+
+namespace gemmtune {
+
+PackedExtents packed_extents(index_t M, index_t N, index_t K, index_t Mwg,
+                             index_t Nwg, index_t Kwg) {
+  check(M > 0 && N > 0 && K > 0, "packed_extents: empty problem");
+  check(Mwg > 0 && Nwg > 0 && Kwg > 0, "packed_extents: bad blocking");
+  return PackedExtents{round_up(M, Mwg), round_up(N, Nwg), round_up(K, Kwg)};
+}
+
+namespace {
+
+// op(X)(r, c): element (r, c) of the logical operand after the transpose op.
+template <typename T>
+T op_at(const Matrix<T>& X, Transpose trans, index_t r, index_t c) {
+  return trans == Transpose::No ? X.at(r, c) : X.at(c, r);
+}
+
+}  // namespace
+
+template <typename T>
+std::vector<T> pack_a(const Matrix<T>& A, Transpose trans, index_t M,
+                      index_t K, index_t Mp, index_t Kp, BlockLayout layout,
+                      index_t Mwg, index_t Kwg) {
+  PackedIndexer idx(layout, Kp, Mp, Kwg, Mwg);
+  std::vector<T> buf(static_cast<std::size_t>(idx.size()), T{});
+  // op(A) is M x K; the buffer stores op(A)^T, i.e. element (k, m).
+  for (index_t m = 0; m < M; ++m)
+    for (index_t k = 0; k < K; ++k)
+      buf[static_cast<std::size_t>(idx.at(k, m))] = op_at(A, trans, m, k);
+  return buf;
+}
+
+template <typename T>
+std::vector<T> pack_b(const Matrix<T>& B, Transpose trans, index_t K,
+                      index_t N, index_t Kp, index_t Np, BlockLayout layout,
+                      index_t Kwg, index_t Nwg) {
+  PackedIndexer idx(layout, Kp, Np, Kwg, Nwg);
+  std::vector<T> buf(static_cast<std::size_t>(idx.size()), T{});
+  for (index_t k = 0; k < K; ++k)
+    for (index_t n = 0; n < N; ++n)
+      buf[static_cast<std::size_t>(idx.at(k, n))] = op_at(B, trans, k, n);
+  return buf;
+}
+
+template <typename T>
+std::vector<T> pack_c(const Matrix<T>& C, index_t M, index_t N, index_t Mp,
+                      index_t Np) {
+  std::vector<T> buf(static_cast<std::size_t>(Mp * Np), T{});
+  for (index_t m = 0; m < M; ++m)
+    for (index_t n = 0; n < N; ++n)
+      buf[static_cast<std::size_t>(m * Np + n)] = C.at(m, n);
+  return buf;
+}
+
+template <typename T>
+void unpack_c(const std::vector<T>& buf, index_t Mp, index_t Np, Matrix<T>& C,
+              index_t M, index_t N) {
+  check(static_cast<index_t>(buf.size()) == Mp * Np, "unpack_c: bad buffer");
+  check(M <= Mp && N <= Np, "unpack_c: live region exceeds buffer");
+  for (index_t m = 0; m < M; ++m)
+    for (index_t n = 0; n < N; ++n)
+      C.at(m, n) = buf[static_cast<std::size_t>(m * Np + n)];
+}
+
+BlockLayout block_layout_from_string(const std::string& s) {
+  if (s == "RM") return BlockLayout::RowMajor;
+  if (s == "CBL") return BlockLayout::CBL;
+  if (s == "RBL") return BlockLayout::RBL;
+  fail("unknown block layout '" + s + "'");
+}
+
+// Explicit instantiations for the two precisions the paper evaluates.
+template std::vector<float> pack_a(const Matrix<float>&, Transpose, index_t,
+                                   index_t, index_t, index_t, BlockLayout,
+                                   index_t, index_t);
+template std::vector<double> pack_a(const Matrix<double>&, Transpose, index_t,
+                                    index_t, index_t, index_t, BlockLayout,
+                                    index_t, index_t);
+template std::vector<float> pack_b(const Matrix<float>&, Transpose, index_t,
+                                   index_t, index_t, index_t, BlockLayout,
+                                   index_t, index_t);
+template std::vector<double> pack_b(const Matrix<double>&, Transpose, index_t,
+                                    index_t, index_t, index_t, BlockLayout,
+                                    index_t, index_t);
+template std::vector<float> pack_c(const Matrix<float>&, index_t, index_t,
+                                   index_t, index_t);
+template std::vector<double> pack_c(const Matrix<double>&, index_t, index_t,
+                                    index_t, index_t);
+template void unpack_c(const std::vector<float>&, index_t, index_t,
+                       Matrix<float>&, index_t, index_t);
+template void unpack_c(const std::vector<double>&, index_t, index_t,
+                       Matrix<double>&, index_t, index_t);
+
+}  // namespace gemmtune

@@ -1,0 +1,96 @@
+// Per-device calibration knobs for the performance model.
+//
+// Every knob is tied to a mechanism the paper names; see calibration.cpp
+// for the mapping from each value to the sentence in the paper that
+// motivates it. The arithmetic-efficiency anchor itself is not a knob: the
+// model solves it so that the paper's Table II kernel scores the paper's
+// GFlop/s on each device (model.cpp).
+#pragma once
+
+#include "codegen/params.hpp"
+#include "simcl/device_registry.hpp"
+
+namespace gemmtune::perfmodel {
+
+struct DeviceCalib {
+  /// Vector width needed to fill the ALUs (VLIW slots on Cayman/Cypress,
+  /// AVX/FMA lanes on the CPUs, 1 on scalar-ALU GPUs).
+  int pref_vw_dp = 1;
+  int pref_vw_sp = 1;
+
+  /// Fraction of inter-work-item operand reuse the cache hierarchy captures
+  /// when local memory is NOT used for a matrix (1 = caches as good as
+  /// explicit sharing; drives the paper's local-memory ablations).
+  double cache_eff = 0.9;
+
+  /// Global-memory bandwidth efficiency for row-major operands relative to
+  /// block-major (CBL/RBL always run at 1.0).
+  double rm_bw_eff = 0.95;
+  /// Extra multiplier when a row-major pitch hits the memory-channel
+  /// conflict stride (paper: row-major Tahiti DGEMM collapses at sizes that
+  /// are multiples of 2048).
+  double rm_conflict_eff = 1.0;
+  std::int64_t conflict_stride_bytes = 0;  ///< 0 = no conflict modelling
+
+  /// Local-memory bandwidth per compute unit (bytes per clock).
+  double lds_bytes_per_clock = 128;
+  /// L1/cache bandwidth per compute unit (bytes per clock): the path
+  /// unshared operands stream through when local memory is not used. On
+  /// CPUs this equals the local-memory bandwidth (local memory *is* cache),
+  /// which is why the paper sees no local-memory effect there.
+  double l1_bytes_per_clock = 64;
+  /// Cost of one work-group barrier in core clocks.
+  double barrier_cycles = 60;
+
+  /// Resident work-items per compute unit needed to hide latencies fully.
+  double threads_for_latency = 256;
+  /// Scheduler cap on concurrent work-groups per compute unit.
+  int max_wgs_per_cu = 8;
+
+  /// Instruction-issue weights relative to one mad: a staging load from
+  /// local memory, a staging load straight from global memory (64-bit
+  /// addressing plus long-latency scheduling make these dearer on GPUs),
+  /// and fixed per-pwi-iteration loop overhead.
+  double issue_load_cost = 0.3;
+  double issue_gload_cost = 0.4;
+  double loop_overhead = 4.0;
+
+  /// Global-memory round-trip latency (one barrier-fenced tile fill pays
+  /// roughly one of these per work-group per tile unless hidden by the
+  /// algorithm or by co-resident work-groups).
+  double mem_latency_us = 0.5;
+
+  /// Intra-work-item overlap quality of the PL and DB algorithms
+  /// (fraction of the non-dominant time hidden even at occupancy 1).
+  double pl_overlap = 0.85;
+  double db_overlap = 0.75;
+
+  /// Hardware limit on 32-bit registers per work-item (GCN: 256 VGPRs,
+  /// Fermi: 63, Kepler: 255). Exceeding it forces spills, modelled as a
+  /// proportional issue slowdown. 0 disables the limit (CPUs spill to L1
+  /// nearly for free).
+  int max_regs_per_thread = 0;
+  /// How far past the register limit a kernel may go before it fails
+  /// outright (spills within the window run with a proportional penalty).
+  /// AMD scratch spills are fatal for performance (1.0 = hard limit);
+  /// NVIDIA spills go to cached local memory (window up to 2x).
+  double spill_tolerance = 1.0;
+
+  /// Slowdown of a copy-free kernel reading the column-major host operands
+  /// in place: large-stride accesses defeat coalescing on GPUs; CPU caches
+  /// tolerate them far better.
+  double direct_penalty = 1.25;
+
+  /// Device quirk: the paper reports DGEMM PL kernels "always fail to
+  /// execute on the Bulldozer".
+  bool pl_dgemm_fails = false;
+
+  int pref_vw(codegen::Precision p) const {
+    return p == codegen::Precision::DP ? pref_vw_dp : pref_vw_sp;
+  }
+};
+
+/// Calibration for one simulated device.
+const DeviceCalib& device_calib(simcl::DeviceId id);
+
+}  // namespace gemmtune::perfmodel

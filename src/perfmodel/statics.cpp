@@ -1,0 +1,74 @@
+#include "perfmodel/statics.hpp"
+
+#include "common/error.hpp"
+
+namespace gemmtune::perfmodel {
+
+KernelStatics analyze(const codegen::KernelParams& p, std::int64_t Mp,
+                      std::int64_t Np, std::int64_t Kp) {
+  check(Mp % p.Mwg == 0 && Np % p.Nwg == 0 && Kp % p.Kwg == 0,
+        "analyze: problem not padded to blocking factors");
+  const auto es = static_cast<std::uint64_t>(element_bytes(p.prec));
+  KernelStatics s;
+  s.work_groups = (Mp / p.Mwg) * (Np / p.Nwg);
+  s.work_items = s.work_groups * p.wg_size();
+  s.tiles = Kp / p.Kwg;
+
+  const auto MN = static_cast<std::uint64_t>(Mp) *
+                  static_cast<std::uint64_t>(Np);
+  const auto MNK = MN * static_cast<std::uint64_t>(Kp);
+  const auto items = static_cast<std::uint64_t>(s.work_items);
+
+  // Micro-kernel: one vw-wide mad per (row, column-chunk, k); merge: one
+  // mad plus one multiply per element.
+  s.flops = 2 * MNK + 3 * MN;
+  s.mads = items *
+           (static_cast<std::uint64_t>(Kp) + 1) *
+           static_cast<std::uint64_t>(p.Mwi()) *
+           static_cast<std::uint64_t>(p.Nwi()) /
+           static_cast<std::uint64_t>(p.vw);
+
+  // A operand: with local sharing each work-group loads each tile once
+  // (Kwg*Mwg elements, identically for BA's fill, PL's stage and DB's two
+  // half-fills); without sharing every work-item streams its own Mwi rows.
+  if (p.share_a) {
+    s.a_global_load_bytes = es * MNK / static_cast<std::uint64_t>(p.Nwg);
+    s.local_store_bytes += es * MNK / static_cast<std::uint64_t>(p.Nwg);
+    s.local_load_bytes += es * items * static_cast<std::uint64_t>(Kp) *
+                          static_cast<std::uint64_t>(p.Mwi());
+  } else {
+    s.a_global_load_bytes = es * MNK / static_cast<std::uint64_t>(p.Nwi());
+  }
+  if (p.share_b) {
+    s.b_global_load_bytes = es * MNK / static_cast<std::uint64_t>(p.Mwg);
+    s.local_store_bytes += es * MNK / static_cast<std::uint64_t>(p.Mwg);
+    s.local_load_bytes += es * items * static_cast<std::uint64_t>(Kp) *
+                          static_cast<std::uint64_t>(p.Nwi());
+  } else {
+    s.b_global_load_bytes = es * MNK / static_cast<std::uint64_t>(p.Mwi());
+  }
+
+  // Merge traffic.
+  s.c_global_load_bytes = es * MN;
+  s.c_global_store_bytes = es * MN;
+
+  // Barrier executions per work-group, per algorithm (matching the
+  // generator's Figs. 4-6 structure exactly).
+  std::uint64_t per_wg = 0;
+  const auto T = static_cast<std::uint64_t>(s.tiles);
+  switch (p.algo) {
+    case codegen::Algorithm::BA:
+      per_wg = (p.share_a || p.share_b) ? 2 * T : 0;
+      break;
+    case codegen::Algorithm::PL:
+      per_wg = 3 * T - 2;
+      break;
+    case codegen::Algorithm::DB:
+      per_wg = 2 * T;
+      break;
+  }
+  s.barriers = per_wg * static_cast<std::uint64_t>(s.work_groups);
+  return s;
+}
+
+}  // namespace gemmtune::perfmodel

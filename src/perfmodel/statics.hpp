@@ -1,0 +1,45 @@
+// Static work analysis of a generated GEMM kernel.
+//
+// Computes, from the parameter set and padded problem size alone, exactly
+// the dynamic counts the interpreter would report: flops, bytes loaded and
+// stored per address space, barrier executions. The unit test
+// perfmodel_statics_test cross-checks these formulas against interpreted
+// launches, so the performance model demonstrably times the kernels the
+// generator emits.
+#pragma once
+
+#include <cstdint>
+
+#include "codegen/params.hpp"
+
+namespace gemmtune::perfmodel {
+
+/// Exact dynamic counts for one kernel launch on a padded (Mp, Np, Kp)
+/// problem. All byte counts are raw program counts (no cache modelling).
+struct KernelStatics {
+  std::int64_t work_groups = 0;
+  std::int64_t work_items = 0;
+  std::int64_t tiles = 0;  ///< K / Kwg outer iterations
+
+  std::uint64_t flops = 0;  ///< 2*M*N*K micro-kernel + 3*M*N merge
+  std::uint64_t mads = 0;
+
+  std::uint64_t a_global_load_bytes = 0;
+  std::uint64_t b_global_load_bytes = 0;
+  std::uint64_t c_global_load_bytes = 0;
+  std::uint64_t c_global_store_bytes = 0;
+  std::uint64_t local_load_bytes = 0;
+  std::uint64_t local_store_bytes = 0;
+  std::uint64_t barriers = 0;  ///< total barrier executions (all groups)
+
+  std::uint64_t global_load_bytes() const {
+    return a_global_load_bytes + b_global_load_bytes + c_global_load_bytes;
+  }
+};
+
+/// Analyzes `p` on the padded problem; extents must be multiples of the
+/// blocking factors.
+KernelStatics analyze(const codegen::KernelParams& p, std::int64_t Mp,
+                      std::int64_t Np, std::int64_t Kp);
+
+}  // namespace gemmtune::perfmodel

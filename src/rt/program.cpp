@@ -1,0 +1,112 @@
+#include "rt/program.hpp"
+
+#include <algorithm>
+
+#include "clfront/parser.hpp"
+#include "common/error.hpp"
+
+namespace gemmtune::rt {
+
+double counters_time(const simcl::DeviceSpec& dev, const ir::Counters& c) {
+  // Auxiliary kernels rarely reach peak rates; 60% of arithmetic peak and
+  // 80% of bandwidth are conventional engineering margins.
+  const double flop_rate = 0.6 * dev.peak_gflops(true) * 1e9 * 2;  // ~SP mix
+  const double bw = 0.8 * dev.global_bw_gbs * 1e9;
+  const double t_arith = static_cast<double>(c.flops) / flop_rate;
+  const double t_mem =
+      static_cast<double>(c.global_load_bytes + c.global_store_bytes) / bw;
+  return dev.kernel_launch_us * 1e-6 + std::max(t_arith, t_mem);
+}
+
+Program::Program(simcl::Context& ctx, const std::string& source)
+    : ctx_(&ctx), kernels_(clfront::parse_program(source)) {
+  // Build-time checks a real driver performs: local memory must fit the
+  // device, and the required work-group size must be launchable.
+  for (const auto& k : kernels_) {
+    check(k.local_mem_bytes() <=
+              static_cast<std::int64_t>(ctx.device().local_mem_bytes()),
+          "Program: kernel '" + k.name + "' exceeds device local memory");
+    if (k.reqd_local[0] > 0) {
+      check(k.reqd_local[0] * k.reqd_local[1] <=
+                ctx.device().max_workgroup_size,
+            "Program: kernel '" + k.name +
+                "' required work-group exceeds device limit");
+    }
+  }
+}
+
+std::vector<std::string> Program::kernel_names() const {
+  std::vector<std::string> names;
+  names.reserve(kernels_.size());
+  for (const auto& k : kernels_) names.push_back(k.name);
+  return names;
+}
+
+const ir::Kernel& Program::kernel(const std::string& name) const {
+  for (const auto& k : kernels_) {
+    if (k.name == name) return k;
+  }
+  fail("Program: no kernel named '" + name + "'");
+}
+
+KernelCall::KernelCall(const Program& program,
+                       const std::string& kernel_name)
+    : program_(&program), kernel_(&program.kernel(kernel_name)) {
+  args_.resize(kernel_->args.size());
+  bound_.assign(kernel_->args.size(), false);
+}
+
+namespace {
+const ir::ArgInfo& arg_info(const ir::Kernel& k, int i) {
+  check(i >= 0 && i < static_cast<int>(k.args.size()),
+        "KernelCall: argument index out of range");
+  return k.args[static_cast<std::size_t>(i)];
+}
+}  // namespace
+
+KernelCall& KernelCall::arg(int i, simcl::BufferPtr buffer) {
+  const auto& info = arg_info(*kernel_, i);
+  check(info.kind == ir::ArgKind::GlobalPtr ||
+            info.kind == ir::ArgKind::GlobalConstPtr,
+        "KernelCall: argument '" + info.name + "' is not a buffer");
+  check(buffer != nullptr, "KernelCall: null buffer");
+  args_[static_cast<std::size_t>(i)] = ir::ArgValue::of(std::move(buffer));
+  bound_[static_cast<std::size_t>(i)] = true;
+  return *this;
+}
+
+KernelCall& KernelCall::arg(int i, std::int64_t value) {
+  const auto& info = arg_info(*kernel_, i);
+  check(info.kind == ir::ArgKind::Int,
+        "KernelCall: argument '" + info.name + "' is not an int");
+  args_[static_cast<std::size_t>(i)] = ir::ArgValue::of_int(value);
+  bound_[static_cast<std::size_t>(i)] = true;
+  return *this;
+}
+
+KernelCall& KernelCall::arg(int i, double value) {
+  const auto& info = arg_info(*kernel_, i);
+  check(info.kind == ir::ArgKind::Float,
+        "KernelCall: argument '" + info.name + "' is not a float");
+  args_[static_cast<std::size_t>(i)] = ir::ArgValue::of_float(value);
+  bound_[static_cast<std::size_t>(i)] = true;
+  return *this;
+}
+
+ir::Counters KernelCall::enqueue(simcl::CommandQueue& queue,
+                                 std::array<std::int64_t, 2> global,
+                                 std::array<std::int64_t, 2> local,
+                                 std::optional<double> seconds) {
+  for (std::size_t i = 0; i < bound_.size(); ++i) {
+    check(bound_[i], "KernelCall: argument '" + kernel_->args[i].name +
+                         "' not bound");
+  }
+  const ir::Counters c = ir::launch(*kernel_, global, local, args_);
+  const double t =
+      seconds ? *seconds : counters_time(queue.context().device(), c);
+  queue.enqueue_kernel(kernel_->name, t,
+                       static_cast<double>(c.flops) / 1e9);
+  return c;
+}
+
+}  // namespace gemmtune::rt

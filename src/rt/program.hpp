@@ -1,0 +1,76 @@
+// OpenCL-style host runtime on top of SimCL.
+//
+// Mirrors the host workflow the paper's system uses on a real OpenCL
+// implementation:
+//   clBuildProgram            -> rt::Program (front-end parse of the
+//                                generated OpenCL C)
+//   clCreateKernel/SetKernelArg -> rt::KernelCall argument binding
+//   clEnqueueNDRangeKernel    -> KernelCall::enqueue — functional execution
+//                                through the lockstep interpreter plus a
+//                                simulated duration on the command queue
+// The default duration model derives from the launch's own dynamic
+// counters (arithmetic at a fraction of peak, global traffic at a fraction
+// of bandwidth); callers with a better model (the GEMM performance model)
+// can pass an explicit duration.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kernelir/interp.hpp"
+#include "simcl/runtime.hpp"
+
+namespace gemmtune::rt {
+
+/// Duration of a launch from its dynamic counters on a device: issue-bound
+/// arithmetic, bandwidth-bound global traffic and local traffic, plus the
+/// fixed launch overhead. A deliberately simple model for auxiliary
+/// kernels (packing, unpacking); the tuned GEMM kernels use the full
+/// performance model instead.
+double counters_time(const simcl::DeviceSpec& dev, const ir::Counters& c);
+
+/// A built program: one or more kernels compiled from OpenCL C text.
+class Program {
+ public:
+  /// Builds (parses and checks) `source` for the context's device.
+  /// Throws gemmtune::Error on any front-end diagnostic.
+  Program(simcl::Context& ctx, const std::string& source);
+
+  std::vector<std::string> kernel_names() const;
+  const ir::Kernel& kernel(const std::string& name) const;
+  simcl::Context& context() const { return *ctx_; }
+
+ private:
+  simcl::Context* ctx_;
+  std::vector<ir::Kernel> kernels_;
+};
+
+/// A kernel invocation in preparation: bind arguments, then enqueue.
+class KernelCall {
+ public:
+  KernelCall(const Program& program, const std::string& kernel_name);
+
+  /// Binds argument `i` (buffer, integer or floating scalar). Checks the
+  /// kind against the kernel signature.
+  KernelCall& arg(int i, simcl::BufferPtr buffer);
+  KernelCall& arg(int i, std::int64_t value);
+  KernelCall& arg(int i, double value);
+
+  /// Executes the kernel functionally over the NDRange and records a
+  /// simulated-duration event on the queue. When `seconds` is absent the
+  /// counter-based model supplies the duration. Returns the counters.
+  ir::Counters enqueue(simcl::CommandQueue& queue,
+                       std::array<std::int64_t, 2> global,
+                       std::array<std::int64_t, 2> local,
+                       std::optional<double> seconds = std::nullopt);
+
+ private:
+  const Program* program_;
+  const ir::Kernel* kernel_;
+  std::vector<ir::ArgValue> args_;
+  std::vector<bool> bound_;
+};
+
+}  // namespace gemmtune::rt

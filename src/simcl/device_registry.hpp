@@ -1,0 +1,37 @@
+// Registry of the simulated devices used in the paper's evaluation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "simcl/device_spec.hpp"
+
+namespace gemmtune::simcl {
+
+/// Stable identifiers for the simulated processors.
+enum class DeviceId {
+  Tahiti,       ///< AMD Radeon HD 7970
+  Cayman,       ///< AMD Radeon HD 6970
+  Kepler,       ///< NVIDIA GeForce GTX 670 (overclocked)
+  Fermi,        ///< NVIDIA Tesla M2090
+  SandyBridge,  ///< Intel Core i7 3960X
+  Bulldozer,    ///< AMD FX-8150
+  Cypress       ///< AMD Radeon HD 5870 (Section IV-C comparison)
+};
+
+/// All devices of the paper's main evaluation (Table I order).
+std::vector<DeviceId> evaluation_devices();
+
+/// All registered devices (evaluation set + Cypress).
+std::vector<DeviceId> all_devices();
+
+/// Specification lookup.
+const DeviceSpec& device_spec(DeviceId id);
+
+/// Lookup by code name ("Tahiti", "Sandy Bridge", ...); throws on unknown.
+DeviceId device_by_name(const std::string& code_name);
+
+/// Code name of a device id.
+std::string to_string(DeviceId id);
+
+}  // namespace gemmtune::simcl

@@ -1,0 +1,128 @@
+// SimCL runtime: OpenCL-shaped host API over simulated devices.
+//
+// Mirrors the OpenCL object model the paper's host code uses — context,
+// buffers, command queue — with simulated time. Data movement is performed
+// for real (buffers are host memory), so kernels interpreted against these
+// buffers compute real results; operation *durations* are simulated from the
+// device specification (transfers) or supplied by the caller (kernel
+// launches, whose durations come from the performance model).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "simcl/device_spec.hpp"
+
+namespace gemmtune::simcl {
+
+/// Device-resident memory object (OpenCL cl_mem analogue). Owns real host
+/// storage so interpreted kernels operate on actual data.
+class Buffer {
+ public:
+  explicit Buffer(std::size_t bytes) : storage_(bytes, std::byte{0}) {}
+
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
+  std::size_t size() const { return storage_.size(); }
+  std::byte* data() { return storage_.data(); }
+  const std::byte* data() const { return storage_.data(); }
+
+  /// Typed view helpers. Element count is in T units.
+  template <typename T>
+  T* as() {
+    return reinterpret_cast<T*>(storage_.data());
+  }
+  template <typename T>
+  const T* as() const {
+    return reinterpret_cast<const T*>(storage_.data());
+  }
+  template <typename T>
+  std::size_t count() const {
+    return storage_.size() / sizeof(T);
+  }
+
+ private:
+  std::vector<std::byte> storage_;
+};
+
+using BufferPtr = std::shared_ptr<Buffer>;
+
+/// One completed queue operation with its simulated duration; the analogue
+/// of an OpenCL profiling event.
+struct ProfileEvent {
+  std::string name;        ///< operation label ("write", "gemm_kernel", ...)
+  double seconds = 0;      ///< simulated duration
+  double gflop = 0;        ///< arithmetic work, for GFlop/s reporting
+  std::size_t bytes = 0;   ///< data moved (transfers)
+};
+
+/// Execution context bound to one device (OpenCL cl_context analogue).
+class Context {
+ public:
+  explicit Context(DeviceSpec spec) : spec_(std::move(spec)) {}
+
+  const DeviceSpec& device() const { return spec_; }
+
+  /// Allocates a device buffer; throws when the allocation would exceed the
+  /// device's global memory capacity (matching CL_MEM_OBJECT_ALLOCATION_FAILURE).
+  BufferPtr create_buffer(std::size_t bytes);
+
+  /// Bytes currently allocated on the device.
+  std::size_t allocated_bytes() const { return allocated_; }
+
+ private:
+  DeviceSpec spec_;
+  std::size_t allocated_ = 0;
+};
+
+/// In-order command queue with simulated timing (cl_command_queue analogue).
+class CommandQueue {
+ public:
+  explicit CommandQueue(Context& ctx) : ctx_(&ctx) {}
+
+  const Context& context() const { return *ctx_; }
+
+  /// Host -> device transfer; copies the bytes and charges transfer time at
+  /// the device's host bandwidth.
+  void enqueue_write(Buffer& dst, const void* src, std::size_t bytes,
+                     std::size_t dst_offset = 0);
+
+  /// Device -> host transfer.
+  void enqueue_read(const Buffer& src, void* dst, std::size_t bytes,
+                    std::size_t src_offset = 0);
+
+  /// Device-side copy between buffers (used by the pack step when operands
+  /// are already resident).
+  void enqueue_copy(const Buffer& src, Buffer& dst, std::size_t bytes);
+
+  /// Records a kernel execution whose duration was produced by the
+  /// performance model. `gflop` is the kernel's arithmetic work.
+  void enqueue_kernel(const std::string& name, double seconds, double gflop);
+
+  /// Blocks until all enqueued work is "done" (no-op in simulation) and
+  /// returns the total simulated time so far.
+  double finish() const { return elapsed_; }
+
+  /// Total simulated seconds accumulated on this queue.
+  double elapsed_seconds() const { return elapsed_; }
+
+  /// Profiling trace of every operation, in submission order.
+  const std::vector<ProfileEvent>& events() const { return events_; }
+
+  /// Clears accumulated time and the profiling trace.
+  void reset();
+
+ private:
+  double transfer_seconds(std::size_t bytes) const;
+
+  Context* ctx_;
+  double elapsed_ = 0;
+  std::vector<ProfileEvent> events_;
+};
+
+}  // namespace gemmtune::simcl

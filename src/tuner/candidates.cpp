@@ -1,0 +1,131 @@
+#include "tuner/candidates.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace gemmtune::tuner {
+
+using codegen::Algorithm;
+using codegen::KernelParams;
+using codegen::Precision;
+
+namespace {
+
+// Discretized parameter values. Since the improved generator the paper
+// describes, blocking factors are no longer restricted to powers of two
+// (Section III-F), so multiples of 8/16/24 appear throughout.
+constexpr int kMwg[] = {16, 32, 48, 64, 96, 128};
+constexpr int kNwg[] = {16, 32, 48, 64, 96, 128};
+constexpr int kKwg[] = {8, 16, 32, 48, 64, 96, 192};
+constexpr int kDim[] = {4, 8, 16, 24, 32};
+constexpr int kKwi[] = {1, 2, 4, 8, 16, 24};
+constexpr int kVw[] = {1, 2, 4, 8};
+
+}  // namespace
+
+std::vector<KernelParams> enumerate_candidates(simcl::DeviceId id,
+                                               Precision prec,
+                                               const EnumOptions& opt,
+                                               EnumStats* stats) {
+  const simcl::DeviceSpec& dev = simcl::device_spec(id);
+  EnumStats st;
+  std::vector<KernelParams> out;
+  Rng rng(opt.seed ^ 0xC0FFEEu);
+
+  // Reservoir-sample into the budget so a huge space degrades gracefully
+  // into a uniform subsample rather than a prefix-biased one.
+  auto keep = [&](const KernelParams& p) {
+    ++st.kept;
+    if (static_cast<int>(out.size()) < opt.max_candidates) {
+      out.push_back(p);
+    } else {
+      const std::uint64_t j =
+          rng.next_below(static_cast<std::uint64_t>(st.kept));
+      if (j < static_cast<std::uint64_t>(opt.max_candidates))
+        out[static_cast<std::size_t>(j)] = p;
+    }
+  };
+
+  std::vector<BlockLayout> layouts = {BlockLayout::CBL, BlockLayout::RBL};
+  if (opt.include_row_major) layouts.push_back(BlockLayout::RowMajor);
+
+  for (int Mwg : kMwg) {
+    for (int Nwg : kNwg) {
+      for (int Kwg : kKwg) {
+        for (int MdimC : kDim) {
+          if (Mwg % MdimC != 0) continue;
+          for (int NdimC : kDim) {
+            if (Nwg % NdimC != 0) continue;
+            const int wg = MdimC * NdimC;
+            if (wg > dev.max_workgroup_size || wg < 16) continue;
+            // Heuristic: keep work-item tiles in the region the paper's
+            // generator explored (Table II never exceeds Mwi=8, Nwi=12);
+            // 2012-era OpenCL compilers could not keep larger register
+            // tiles resident without catastrophic spilling.
+            const int Mwi = Mwg / MdimC;
+            const int Nwi = Nwg / NdimC;
+            if (Mwi > 8 || Nwi > 12) continue;
+            for (int Kwi : kKwi) {
+              if (Kwg % Kwi != 0) continue;
+              for (int vw : kVw) {
+                if (Mwi % vw != 0 || Nwi % vw != 0) continue;
+                for (int share = 0; share < 4; ++share) {
+                  for (Algorithm algo :
+                       {Algorithm::BA, Algorithm::PL, Algorithm::DB}) {
+                    if (algo != Algorithm::BA && share == 0) continue;
+                    // Heuristic reshapes: natural (MdimC) and a flat one.
+                    for (int MdimA :
+                         {MdimC, wg >= 2 * MdimC ? 2 * MdimC : MdimC}) {
+                      for (int NdimB :
+                           {NdimC, wg >= 2 * NdimC ? 2 * NdimC : NdimC}) {
+                        for (int stride = 0; stride < 4; ++stride) {
+                          for (BlockLayout la : layouts) {
+                            for (BlockLayout lb : layouts) {
+                              ++st.raw_combinations;
+                              KernelParams p;
+                              p.prec = prec;
+                              p.Mwg = Mwg;
+                              p.Nwg = Nwg;
+                              p.Kwg = Kwg;
+                              p.MdimC = MdimC;
+                              p.NdimC = NdimC;
+                              p.MdimA = MdimA;
+                              p.NdimB = NdimB;
+                              p.Kwi = Kwi;
+                              p.vw = vw;
+                              p.share_a = (share & 1) != 0;
+                              p.share_b = (share & 2) != 0;
+                              p.stride_m = (stride & 1) != 0;
+                              p.stride_n = (stride & 2) != 0;
+                              p.layout_a = la;
+                              p.layout_b = lb;
+                              p.algo = algo;
+                              if (validate(p, dev)) {
+                                ++st.invalid;
+                                continue;
+                              }
+                              keep(p);
+                            }
+                          }
+                        }
+                      }
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  if (stats) *stats = st;
+  std::sort(out.begin(), out.end(),
+            [](const KernelParams& a, const KernelParams& b) {
+              return a.key() < b.key();
+            });
+  return out;
+}
+
+}  // namespace gemmtune::tuner

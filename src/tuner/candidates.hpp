@@ -1,0 +1,38 @@
+// Heuristic candidate enumeration for the auto-tuner (paper Section III-F:
+// "We searched tens of thousands of kernel variants per single GEMM type
+// ... Those many variants were heuristically chosen").
+//
+// The enumeration walks the cross product of discretized parameter values,
+// prunes structurally invalid sets via codegen::validate, and (when the
+// space exceeds the budget) subsamples deterministically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codegen/params.hpp"
+#include "simcl/device_registry.hpp"
+
+namespace gemmtune::tuner {
+
+/// Enumeration controls.
+struct EnumOptions {
+  int max_candidates = 20000;   ///< budget after validation
+  std::uint64_t seed = 1;       ///< subsampling determinism
+  bool include_row_major = false;  ///< also enumerate RM operand layouts
+};
+
+/// Statistics from one enumeration run (the paper reports that failed
+/// kernels "are not counted" toward the tested variants).
+struct EnumStats {
+  std::int64_t raw_combinations = 0;  ///< cross-product size visited
+  std::int64_t invalid = 0;           ///< rejected by validate()
+  std::int64_t kept = 0;              ///< returned candidates
+};
+
+/// Enumerates valid kernel parameter sets for the device/precision.
+std::vector<codegen::KernelParams> enumerate_candidates(
+    simcl::DeviceId id, codegen::Precision prec, const EnumOptions& opt,
+    EnumStats* stats = nullptr);
+
+}  // namespace gemmtune::tuner

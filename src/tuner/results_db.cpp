@@ -1,0 +1,128 @@
+#include "tuner/results_db.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "codegen/paper_kernels.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace gemmtune::tuner {
+
+using codegen::KernelParams;
+using codegen::Precision;
+
+TunedKernel profile_kernel(simcl::DeviceId id, const KernelParams& params,
+                           std::int64_t stage2_max_n) {
+  SearchEngine engine(id);
+  TunedKernel t;
+  t.params = params;
+  const std::int64_t n1 = engine.model().stage1_size(params);
+  const auto e1 = engine.model().kernel_estimate(params, n1, n1, n1);
+  check(e1.ok, "profile_kernel: kernel rejected: " + e1.reason);
+  t.stage1_gflops = e1.gflops;
+  t.curve = engine.sweep(params, stage2_max_n);
+  for (const auto& [n, g] : t.curve) {
+    if (g > t.best_gflops) {
+      t.best_gflops = g;
+      t.best_n = n;
+    }
+  }
+  return t;
+}
+
+std::string TunedDatabase::key(simcl::DeviceId id, Precision prec) {
+  return simcl::to_string(id) + "/" + to_string(prec);
+}
+
+std::optional<TunedKernel> TunedDatabase::find(simcl::DeviceId id,
+                                               Precision prec) const {
+  auto it = results_.find(key(id, prec));
+  if (it == results_.end()) return std::nullopt;
+  return it->second;
+}
+
+void TunedDatabase::put(simcl::DeviceId id, Precision prec,
+                        TunedKernel result) {
+  results_[key(id, prec)] = std::move(result);
+}
+
+const TunedKernel& TunedDatabase::get_or_tune(simcl::DeviceId id,
+                                              Precision prec,
+                                              const SearchOptions& opt) {
+  const std::string k = key(id, prec);
+  auto it = results_.find(k);
+  if (it == results_.end()) {
+    SearchEngine engine(id);
+    it = results_.emplace(k, engine.tune(prec, opt)).first;
+  }
+  return it->second;
+}
+
+std::string TunedDatabase::save_json() const {
+  Json root = Json::object();
+  for (const auto& [k, t] : results_) {
+    Json entry = Json::object();
+    entry["params"] = t.params.to_json();
+    entry["stage1_gflops"] = t.stage1_gflops;
+    entry["best_gflops"] = t.best_gflops;
+    entry["best_n"] = t.best_n;
+    Json curve = Json::array();
+    for (const auto& [n, g] : t.curve) {
+      Json pt = Json::array();
+      pt.push_back(n);
+      pt.push_back(g);
+      curve.push_back(std::move(pt));
+    }
+    entry["curve"] = std::move(curve);
+    root[k] = std::move(entry);
+  }
+  return root.dump(2);
+}
+
+TunedDatabase TunedDatabase::load_json(const std::string& text) {
+  TunedDatabase db;
+  const Json root = Json::parse(text);
+  for (const auto& [k, entry] : root.items()) {
+    TunedKernel t;
+    t.params = KernelParams::from_json(entry.at("params"));
+    t.stage1_gflops = entry.at("stage1_gflops").as_number();
+    t.best_gflops = entry.at("best_gflops").as_number();
+    t.best_n = entry.at("best_n").as_int();
+    const Json& curve = entry.at("curve");
+    for (std::size_t i = 0; i < curve.size(); ++i) {
+      t.curve.emplace_back(curve.at(i).at(std::size_t{0}).as_int(),
+                           curve.at(i).at(std::size_t{1}).as_number());
+    }
+    db.results_[k] = std::move(t);
+  }
+  return db;
+}
+
+void TunedDatabase::save_file(const std::string& path) const {
+  std::ofstream f(path);
+  check(f.good(), "save_file: cannot open " + path);
+  f << save_json();
+  check(f.good(), "save_file: write failed for " + path);
+}
+
+TunedDatabase TunedDatabase::load_file(const std::string& path) {
+  std::ifstream f(path);
+  check(f.good(), "load_file: cannot open " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return load_json(ss.str());
+}
+
+TunedDatabase TunedDatabase::paper_seeded() {
+  TunedDatabase db;
+  for (simcl::DeviceId id : simcl::all_devices()) {
+    for (Precision prec : {Precision::DP, Precision::SP}) {
+      const auto entry = codegen::table2_entry(id, prec);
+      db.put(id, prec, profile_kernel(id, entry.params));
+    }
+  }
+  return db;
+}
+
+}  // namespace gemmtune::tuner

@@ -1,0 +1,103 @@
+#include "tuner/search.hpp"
+
+#include <algorithm>
+
+#include "codegen/paper_kernels.hpp"
+#include "common/error.hpp"
+#include "common/intmath.hpp"
+
+namespace gemmtune::tuner {
+
+using codegen::KernelParams;
+using codegen::Precision;
+
+SearchEngine::SearchEngine(simcl::DeviceId id) : id_(id), model_(id) {}
+
+std::vector<std::pair<std::int64_t, double>> SearchEngine::sweep(
+    const KernelParams& p, std::int64_t max_n) const {
+  std::vector<std::pair<std::int64_t, double>> curve;
+  const std::int64_t lcm = lcm3(p.Mwg, p.Nwg, p.Kwg);
+  for (std::int64_t n = lcm; n <= max_n; n += lcm) {
+    const auto e = model_.kernel_estimate(p, n, n, n);
+    if (!e.ok) break;
+    curve.emplace_back(n, e.gflops);
+  }
+  return curve;
+}
+
+TunedKernel SearchEngine::tune(Precision prec, const SearchOptions& opt,
+                               SearchStats* stats) const {
+  SearchStats st;
+  std::vector<KernelParams> candidates =
+      enumerate_candidates(id_, prec, opt.enumeration, &st.enumeration);
+  if (opt.seed_with_table2) {
+    candidates.push_back(codegen::table2_entry(id_, prec).params);
+  }
+  if (opt.restrict_algo || opt.restrict_local) {
+    std::erase_if(candidates, [&](const KernelParams& p) {
+      if (opt.restrict_algo && p.algo != *opt.restrict_algo) return true;
+      if (opt.restrict_local &&
+          (p.share_a || p.share_b) != *opt.restrict_local)
+        return true;
+      return false;
+    });
+  }
+  check(!candidates.empty(), "tune: no valid candidates for device");
+
+  // Stage 1: single-size measurement of every candidate.
+  struct Scored {
+    double gflops;
+    std::size_t index;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const KernelParams& p = candidates[i];
+    const std::int64_t n1 = model_.stage1_size(p);
+    const auto e = model_.kernel_estimate(p, n1, n1, n1);
+    ++st.stage1_evaluated;
+    if (!e.ok) {
+      ++st.stage1_failed;
+      continue;
+    }
+    scored.push_back({e.gflops, i});
+  }
+  check(!scored.empty(), "tune: every candidate failed stage 1");
+  const std::size_t keep =
+      std::min<std::size_t>(static_cast<std::size_t>(opt.stage1_keep),
+                            scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(keep),
+                    scored.end(), [](const Scored& a, const Scored& b) {
+                      return a.gflops > b.gflops;
+                    });
+  scored.resize(keep);
+
+  // Stage 2: sweep the finalists over sizes <= stage2_max_n; pick the
+  // kernel with the highest performance at any size.
+  TunedKernel best;
+  for (const Scored& s : scored) {
+    const KernelParams& p = candidates[s.index];
+    const auto curve = sweep(p, opt.stage2_max_n);
+    st.stage2_points += static_cast<std::int64_t>(curve.size());
+    double peak = 0;
+    std::int64_t peak_n = 0;
+    for (const auto& [n, g] : curve) {
+      if (g > peak) {
+        peak = g;
+        peak_n = n;
+      }
+    }
+    if (peak > best.best_gflops) {
+      best.params = p;
+      best.stage1_gflops = s.gflops;
+      best.best_gflops = peak;
+      best.best_n = peak_n;
+      best.curve = curve;
+    }
+  }
+  if (stats) *stats = st;
+  check(best.best_gflops > 0, "tune: stage 2 produced no measurement");
+  return best;
+}
+
+}  // namespace gemmtune::tuner

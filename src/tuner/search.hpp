@@ -1,0 +1,81 @@
+// The heuristic search engine (paper Section III-F).
+//
+// The procedure for selecting the best kernel follows the paper:
+//  1. Measure every candidate at one problem size: the largest multiple of
+//     LCM(Mwg, Nwg, Kwg) not exceeding 4096 on GPUs / 1536 on CPUs.
+//  2. Re-measure the fastest `stage1_keep` (default 50) kernels over all
+//     sizes N in multiples of their LCM with N <= 8192.
+//  3. Select the kernel with the highest observed performance.
+//
+// "Measurement" is the analytic performance model; on real hardware the
+// same driver code would time real launches (the paper reports >5 hours
+// per GEMM type — under the model the search takes seconds).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "codegen/params.hpp"
+#include "perfmodel/model.hpp"
+#include "simcl/device_registry.hpp"
+#include "tuner/candidates.hpp"
+
+namespace gemmtune::tuner {
+
+/// Search controls.
+struct SearchOptions {
+  EnumOptions enumeration;
+  int stage1_keep = 50;           ///< paper: the fastest 50 kernels
+  std::int64_t stage2_max_n = 8192;  ///< paper: N <= 8192
+  bool seed_with_table2 = true;   ///< include the paper's kernels as seeds
+
+  /// Constrained searches for the ablation studies (Fig. 8 and the
+  /// Section IV-A local-memory experiments): restrict the candidate set to
+  /// one algorithm and/or to kernels that do (true) or do not (false) use
+  /// local memory. Seeds that violate a restriction are dropped.
+  std::optional<codegen::Algorithm> restrict_algo;
+  std::optional<bool> restrict_local;
+};
+
+/// Search diagnostics.
+struct SearchStats {
+  EnumStats enumeration;
+  std::int64_t stage1_evaluated = 0;
+  std::int64_t stage1_failed = 0;  ///< model rejected at run time
+  std::int64_t stage2_points = 0;
+};
+
+/// The selected kernel and its measured profile.
+struct TunedKernel {
+  codegen::KernelParams params;
+  double stage1_gflops = 0;  ///< performance at the stage-1 size
+  double best_gflops = 0;    ///< maximum over the stage-2 sweep
+  std::int64_t best_n = 0;   ///< size achieving best_gflops
+  /// Stage-2 curve of the winning kernel: (N, GFlop/s).
+  std::vector<std::pair<std::int64_t, double>> curve;
+};
+
+/// Search engine bound to one device.
+class SearchEngine {
+ public:
+  explicit SearchEngine(simcl::DeviceId id);
+
+  /// Runs the full two-stage search.
+  TunedKernel tune(codegen::Precision prec, const SearchOptions& opt = {},
+                   SearchStats* stats = nullptr) const;
+
+  /// Stage-2 sweep for one kernel: performance at every multiple of the
+  /// blocking LCM up to max_n.
+  std::vector<std::pair<std::int64_t, double>> sweep(
+      const codegen::KernelParams& p, std::int64_t max_n) const;
+
+  const perfmodel::PerfModel& model() const { return model_; }
+
+ private:
+  simcl::DeviceId id_;
+  perfmodel::PerfModel model_;
+};
+
+}  // namespace gemmtune::tuner

@@ -1,0 +1,48 @@
+// Performance models of the closed-source comparator libraries.
+//
+// The paper compares against vendor BLAS libraries (clBLAS, CUBLAS, MAGMA,
+// MKL, ACML, ATLAS) and against the authors' previous implementation [13]
+// and related work (Du et al. [12], Nakasato [18]). None of these can run
+// here, so each is modelled as a saturating performance curve
+//     gflops(n) = sat / (1 + k / n)
+// anchored at the paper's own reported numbers: saturation values come from
+// Table III (per GEMM type) and the Section IV-C text; the ramp constant k
+// reflects the figures' shapes (vendor libraries ramp quickly because they
+// do not pay our copy-to-block-layout overhead). DESIGN.md documents this
+// substitution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "codegen/params.hpp"
+#include "layout/gemm_type.hpp"
+#include "simcl/device_registry.hpp"
+
+namespace gemmtune::vendor {
+
+/// One modelled comparator on one device.
+struct Baseline {
+  std::string name;        ///< e.g. "AMD clBLAS 1.8.291"
+  simcl::DeviceId device;
+  codegen::Precision prec;
+  double sat[4];           ///< saturation GFlop/s for NN, NT, TN, TT
+  double ramp_k;           ///< size constant of the ramp
+};
+
+/// All modelled baselines for a device/precision (the paper's "Vendor" row
+/// of Table III plus the extra curves of Figs. 9-11).
+std::vector<Baseline> baselines(simcl::DeviceId id, codegen::Precision prec);
+
+/// The vendor library of Table III for the device ("Vendor" row).
+const Baseline& table3_vendor(simcl::DeviceId id, codegen::Precision prec);
+
+/// Performance of a baseline at size n (square problem).
+double baseline_gflops(const Baseline& b, GemmType type, std::int64_t n);
+
+/// Finds a baseline by name prefix; throws when absent.
+const Baseline& baseline_by_name(simcl::DeviceId id, codegen::Precision prec,
+                                 const std::string& name_prefix);
+
+}  // namespace gemmtune::vendor

@@ -1,0 +1,270 @@
+// OpenCL front-end tests: lexer behaviour, parser diagnostics, and the
+// emit -> parse -> execute round trip that proves the shipped OpenCL text
+// and the tested IR semantics are the same program.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "clfront/lexer.hpp"
+#include "clfront/parser.hpp"
+#include "codegen/gemm_generator.hpp"
+#include "codegen/paper_kernels.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "kernelir/emit.hpp"
+#include "kernelir/interp.hpp"
+#include "layout/packing.hpp"
+#include "simcl/device_registry.hpp"
+
+namespace gemmtune {
+namespace {
+
+using codegen::GemmKernelArgs;
+using codegen::KernelParams;
+using codegen::Precision;
+
+// ---- lexer ------------------------------------------------------------------
+
+TEST(Lexer, TokenKinds) {
+  const auto toks = clfront::lex(
+      "#pragma OPENCL EXTENSION cl_khr_fp64 : enable\n"
+      "__kernel void f(int x) { x += 2; y = 1.5f; /* c */ z = 3.25; }");
+  ASSERT_GE(toks.size(), 5u);
+  EXPECT_EQ(toks[0].kind, clfront::TokKind::Pragma);
+  EXPECT_EQ(toks[1].kind, clfront::TokKind::Ident);
+  EXPECT_EQ(toks[1].text, "__kernel");
+  bool saw_pluseq = false, saw_f_suffix = false, saw_double = false;
+  for (const auto& t : toks) {
+    if (t.kind == clfront::TokKind::Punct && t.text == "+=")
+      saw_pluseq = true;
+    if (t.kind == clfront::TokKind::FloatLit && t.has_f_suffix) {
+      saw_f_suffix = true;
+      EXPECT_DOUBLE_EQ(t.fval, 1.5);
+    }
+    if (t.kind == clfront::TokKind::FloatLit && !t.has_f_suffix &&
+        t.fval == 3.25)
+      saw_double = true;
+  }
+  EXPECT_TRUE(saw_pluseq);
+  EXPECT_TRUE(saw_f_suffix);
+  EXPECT_TRUE(saw_double);
+  EXPECT_EQ(toks.back().kind, clfront::TokKind::End);
+}
+
+TEST(Lexer, TracksLinesAndRejectsGarbage) {
+  const auto toks = clfront::lex("a\nb\n  c");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[2].line, 3);
+  EXPECT_THROW(clfront::lex("a $ b"), Error);
+  EXPECT_THROW(clfront::lex("/* unterminated"), Error);
+}
+
+// ---- parser diagnostics --------------------------------------------------------
+
+TEST(ClParser, RejectsConstructsOutsideTheSubset) {
+  EXPECT_THROW(clfront::parse_kernel("int main() { return 0; }"), Error);
+  EXPECT_THROW(clfront::parse_kernel("__kernel void f() { while (1) {} }"),
+               Error);
+  EXPECT_THROW(
+      clfront::parse_kernel("__kernel void f(__global double* C) "
+                            "{ C[unknown_var] = 1.0; }"),
+      Error);
+}
+
+TEST(ClParser, ParsesAMinimalKernel) {
+  const ir::Kernel k = clfront::parse_kernel(
+      "__kernel void axpy(__global double* out, __global const double* a, "
+      "const double alpha, const int n)\n"
+      "{\n"
+      "  int gid;\n"
+      "  gid = (int)get_global_id(0);\n"
+      "  out[gid] = mad(alpha, a[gid], out[gid]);\n"
+      "}\n");
+  EXPECT_EQ(k.name, "axpy");
+  ASSERT_EQ(k.args.size(), 4u);
+  EXPECT_EQ(k.args[0].kind, ir::ArgKind::GlobalPtr);
+  EXPECT_EQ(k.args[1].kind, ir::ArgKind::GlobalConstPtr);
+  EXPECT_EQ(k.args[2].kind, ir::ArgKind::Float);
+  EXPECT_EQ(k.args[3].kind, ir::ArgKind::Int);
+
+  // Execute it.
+  auto out = std::make_shared<simcl::Buffer>(4 * sizeof(double));
+  auto a = std::make_shared<simcl::Buffer>(4 * sizeof(double));
+  for (int i = 0; i < 4; ++i) {
+    out->as<double>()[i] = 1.0;
+    a->as<double>()[i] = i;
+  }
+  ir::launch(k, {4, 1}, {4, 1},
+             {ir::ArgValue::of(out), ir::ArgValue::of(a),
+              ir::ArgValue::of_float(2.0), ir::ArgValue::of_int(4)});
+  for (int i = 0; i < 4; ++i)
+    EXPECT_DOUBLE_EQ(out->as<double>()[i], 1.0 + 2.0 * i);
+}
+
+TEST(ClParser, UnaryMinusAndPrecedence) {
+  const ir::Kernel k = clfront::parse_kernel(
+      "__kernel void f(__global double* out)\n"
+      "{\n"
+      "  int i;\n"
+      "  i = 2 + 3 * 4 - 6 / 2;\n"  // 11
+      "  out[i - 11] = -1.5;\n"
+      "}\n");
+  auto out = std::make_shared<simcl::Buffer>(sizeof(double));
+  ir::launch(k, {1, 1}, {1, 1}, {ir::ArgValue::of(out)});
+  EXPECT_DOUBLE_EQ(out->as<double>()[0], -1.5);
+}
+
+// ---- round trip -----------------------------------------------------------------
+
+/// Runs `k` on buffers sized for a packed (Mp, Np, Kp) problem and returns
+/// the C buffer contents plus the dynamic counters.
+template <typename T>
+std::pair<std::vector<T>, ir::Counters> run_gemm_ir(
+    const ir::Kernel& k, const KernelParams& p, index_t Mp, index_t Np,
+    index_t Kp, std::uint64_t seed) {
+  Rng rng(seed);
+  auto fill = [&](simcl::Buffer& b) {
+    for (std::size_t i = 0; i < b.count<T>(); ++i)
+      b.as<T>()[i] = static_cast<T>(rng.next_double(-1, 1));
+  };
+  auto dA = std::make_shared<simcl::Buffer>(
+      static_cast<std::size_t>(Mp * Kp) * sizeof(T));
+  auto dB = std::make_shared<simcl::Buffer>(
+      static_cast<std::size_t>(Kp * Np) * sizeof(T));
+  auto dC = std::make_shared<simcl::Buffer>(
+      static_cast<std::size_t>(Mp * Np) * sizeof(T));
+  fill(*dA);
+  fill(*dB);
+  fill(*dC);
+  const auto geo = codegen::launch_geometry(p, Mp, Np);
+  std::vector<ir::ArgValue> args(8);
+  args[GemmKernelArgs::C] = ir::ArgValue::of(dC);
+  args[GemmKernelArgs::A] = ir::ArgValue::of(dA);
+  args[GemmKernelArgs::B] = ir::ArgValue::of(dB);
+  args[GemmKernelArgs::M] = ir::ArgValue::of_int(Mp);
+  args[GemmKernelArgs::N] = ir::ArgValue::of_int(Np);
+  args[GemmKernelArgs::K] = ir::ArgValue::of_int(Kp);
+  args[GemmKernelArgs::alpha] = ir::ArgValue::of_float(1.25);
+  args[GemmKernelArgs::beta] = ir::ArgValue::of_float(-0.5);
+  const auto counters = ir::launch(k, geo.global, geo.local, args);
+  std::vector<T> out(dC->count<T>());
+  std::memcpy(out.data(), dC->data(), dC->size());
+  return {out, counters};
+}
+
+template <typename T>
+void round_trip_case(const KernelParams& p, std::uint64_t seed) {
+  const ir::Kernel original = codegen::generate_gemm_kernel(p);
+  const std::string source = ir::emit_opencl(original);
+  const ir::Kernel reparsed = clfront::parse_kernel(source);
+  EXPECT_EQ(reparsed.name, original.name);
+  EXPECT_EQ(reparsed.args.size(), original.args.size());
+  EXPECT_EQ(reparsed.local_mem_bytes(), original.local_mem_bytes());
+
+  const index_t Mp = 2 * p.Mwg, Np = 2 * p.Nwg, Kp = 2 * p.Kwg;
+  const auto [c1, n1] = run_gemm_ir<T>(original, p, Mp, Np, Kp, seed);
+  const auto [c2, n2] = run_gemm_ir<T>(reparsed, p, Mp, Np, Kp, seed);
+  // Bit-identical results and identical dynamic work.
+  EXPECT_EQ(c1, c2) << p.summary();
+  EXPECT_EQ(n1.flops, n2.flops);
+  EXPECT_EQ(n1.mads, n2.mads);
+  EXPECT_EQ(n1.global_load_bytes, n2.global_load_bytes);
+  EXPECT_EQ(n1.global_store_bytes, n2.global_store_bytes);
+  EXPECT_EQ(n1.local_load_bytes, n2.local_load_bytes);
+  EXPECT_EQ(n1.local_store_bytes, n2.local_store_bytes);
+  EXPECT_EQ(n1.barriers, n2.barriers);
+}
+
+TEST(RoundTrip, EveryTableIIKernelSurvivesEmitParseExecute) {
+  for (simcl::DeviceId id : simcl::evaluation_devices()) {
+    for (Precision prec : {Precision::DP, Precision::SP}) {
+      const KernelParams p = codegen::table2_entry(id, prec).params;
+      if (prec == Precision::DP) {
+        round_trip_case<double>(p, 101);
+      } else {
+        round_trip_case<float>(p, 102);
+      }
+    }
+  }
+}
+
+// The parser discards comments (they carry no semantics), so the textual
+// fixed point holds modulo comment-only lines.
+std::string strip_comment_lines(const std::string& src) {
+  std::string out;
+  std::vector<std::string> lines = split(src, '\n');
+  if (!lines.empty() && lines.back().empty()) lines.pop_back();
+  for (const std::string& line : lines) {
+    const std::string t = trim(line);
+    if (starts_with(t, "/*") && t.size() >= 2 &&
+        t.compare(t.size() - 2, 2, "*/") == 0)
+      continue;
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(RoundTrip, DirectKernelSurvives) {
+  KernelParams p;
+  p.prec = Precision::DP;
+  p.Mwg = 8;
+  p.Nwg = 8;
+  p.Kwg = 4;
+  p.MdimC = p.NdimC = 4;
+  p.MdimA = p.NdimB = 8;
+  p.Kwi = 2;
+  p.vw = 1;
+  p.share_a = p.share_b = true;
+  const ir::Kernel k =
+      codegen::generate_direct_gemm_kernel(p, Transpose::Yes, Transpose::No);
+  const ir::Kernel back = clfront::parse_kernel(ir::emit_opencl(k));
+  EXPECT_EQ(back.args.size(), 11u);
+  EXPECT_EQ(back.name, k.name);
+  // Re-emission of the reparsed kernel reproduces the original source
+  // (modulo dropped comments).
+  EXPECT_EQ(ir::emit_opencl(back),
+            strip_comment_lines(ir::emit_opencl(k)));
+}
+
+TEST(RoundTrip, ReEmissionIsAFixedPoint) {
+  // emit(parse(emit(K))) == emit(K): the text representation is stable.
+  const KernelParams p =
+      codegen::table2_entry(simcl::DeviceId::Tahiti, Precision::SP).params;
+  const std::string once =
+      ir::emit_opencl(codegen::generate_gemm_kernel(p));
+  const std::string twice = ir::emit_opencl(clfront::parse_kernel(once));
+  EXPECT_EQ(strip_comment_lines(once), twice);
+  // And parsing the re-emission yields the same text again.
+  EXPECT_EQ(ir::emit_opencl(clfront::parse_kernel(twice)), twice);
+}
+
+}  // namespace
+}  // namespace gemmtune
+
+namespace gemmtune {
+namespace {
+
+TEST(RoundTrip, GuardedDirectKernelSurvives) {
+  // The guarded kernel uses the full control-flow surface: ternaries,
+  // comparisons, logical-and, and divergent if statements.
+  KernelParams p;
+  p.prec = Precision::DP;
+  p.Mwg = 8;
+  p.Nwg = 8;
+  p.Kwg = 4;
+  p.MdimC = p.NdimC = 4;
+  p.MdimA = p.NdimB = 8;
+  p.Kwi = 2;
+  p.vw = 1;
+  p.share_a = p.share_b = true;
+  const ir::Kernel k = codegen::generate_direct_gemm_kernel(
+      p, Transpose::No, Transpose::Yes, /*guarded=*/true);
+  const std::string once = ir::emit_opencl(k);
+  const ir::Kernel back = clfront::parse_kernel(once);
+  EXPECT_EQ(ir::emit_opencl(back), strip_comment_lines(once));
+}
+
+}  // namespace
+}  // namespace gemmtune

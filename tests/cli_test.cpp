@@ -1,0 +1,107 @@
+// CLI tests: every subcommand, argument validation, and the compile
+// command against generated kernel source.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli/cli.hpp"
+#include "codegen/gemm_generator.hpp"
+#include "codegen/paper_kernels.hpp"
+#include "kernelir/emit.hpp"
+
+namespace gemmtune {
+namespace {
+
+std::pair<int, std::string> run_cli(std::vector<std::string> args) {
+  std::ostringstream out;
+  const int rc = cli::run(args, out);
+  return {rc, out.str()};
+}
+
+TEST(Cli, UsageOnNoArgsOrUnknownCommand) {
+  auto [rc1, out1] = run_cli({});
+  EXPECT_EQ(rc1, 2);
+  EXPECT_NE(out1.find("usage:"), std::string::npos);
+  auto [rc2, out2] = run_cli({"frobnicate"});
+  EXPECT_EQ(rc2, 2);
+}
+
+TEST(Cli, Devices) {
+  auto [rc, out] = run_cli({"devices"});
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("Tahiti"), std::string::npos);
+  EXPECT_NE(out.find("Bulldozer"), std::string::npos);
+  EXPECT_NE(out.find("Cypress"), std::string::npos);
+}
+
+TEST(Cli, EmitProducesOpenCl) {
+  auto [rc, out] = run_cli({"emit", "Fermi", "DGEMM"});
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("__kernel"), std::string::npos);
+  EXPECT_NE(out.find("dgemm_atb_PL"), std::string::npos);
+}
+
+TEST(Cli, EmitRejectsBadDevice) {
+  auto [rc, out] = run_cli({"emit", "Voodoo", "DGEMM"});
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(out.find("error:"), std::string::npos);
+}
+
+TEST(Cli, CompileRoundTrip) {
+  const auto p =
+      codegen::table2_entry(simcl::DeviceId::Kepler, codegen::Precision::SP)
+          .params;
+  const std::string src =
+      ir::emit_opencl(codegen::generate_gemm_kernel(p));
+  const std::string path = ::testing::TempDir() + "/cli_kernel.cl";
+  {
+    std::ofstream f(path);
+    f << src;
+  }
+  auto [rc, out] = run_cli({"compile", path});
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("kernel: sgemm_atb_PL"), std::string::npos);
+  EXPECT_NE(out.find("arguments: 8"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, CompileRejectsMissingFile) {
+  auto [rc, out] = run_cli({"compile", "/nonexistent.cl"});
+  EXPECT_EQ(rc, 1);
+}
+
+TEST(Cli, EstimateReportsBothSides) {
+  auto [rc, out] = run_cli({"estimate", "Sandy Bridge", "DGEMM", "NN",
+                            "1536"});
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("GFlop/s"), std::string::npos);
+  EXPECT_NE(out.find("Intel MKL"), std::string::npos);
+}
+
+TEST(Cli, SweepPrintsLcmGrid) {
+  auto [rc, out] = run_cli({"sweep", "Kepler", "DGEMM", "256"});
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("| N"), std::string::npos);
+  EXPECT_NE(out.find("64"), std::string::npos);  // Kepler DP LCM = 64
+}
+
+TEST(Cli, TuneSmallBudget) {
+  auto [rc, out] = run_cli({"tune", "Cayman", "SGEMM", "300"});
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("best:"), std::string::npos);
+  EXPECT_NE(out.find("paper Table II"), std::string::npos);
+}
+
+TEST(Cli, VerifyPassesAndBoundsSizes) {
+  auto [rc, out] = run_cli({"verify", "Tahiti", "DGEMM", "40", "30", "20"});
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("PASS"), std::string::npos);
+  auto [rc2, out2] = run_cli({"verify", "Tahiti", "DGEMM", "9999", "10",
+                              "10"});
+  EXPECT_EQ(rc2, 1);
+}
+
+}  // namespace
+}  // namespace gemmtune

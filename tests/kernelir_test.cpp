@@ -1,0 +1,374 @@
+// Kernel-IR tests: expression/statement invariants, the OpenCL C emitter's
+// output structure, and the lockstep interpreter's semantics (memory
+// spaces, builtins, float rounding, uniformity checking, bounds checking).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "kernelir/emit.hpp"
+#include "kernelir/interp.hpp"
+#include "kernelir/kernel.hpp"
+#include "simcl/runtime.hpp"
+
+namespace gemmtune::ir {
+namespace {
+
+simcl::BufferPtr make_buffer(std::size_t bytes) {
+  return std::make_shared<simcl::Buffer>(bytes);
+}
+
+TEST(IrTypes, OclNames) {
+  EXPECT_EQ(ocl_name(i32()), "int");
+  EXPECT_EQ(ocl_name(fp(Scalar::F32, 1)), "float");
+  EXPECT_EQ(ocl_name(fp(Scalar::F64, 4)), "double4");
+  EXPECT_EQ(scalar_bytes(Scalar::F64), 8);
+  EXPECT_THROW(fp(Scalar::F64, 3), Error);
+  EXPECT_THROW(fp(Scalar::I32, 1), Error);
+}
+
+TEST(IrExpr, TypeChecking) {
+  EXPECT_THROW(bin(BinOp::Add, iconst(1), fconst(1.0, fp(Scalar::F64, 1))),
+               Error);
+  EXPECT_THROW(bin(BinOp::FAdd, fconst(1.0, fp(Scalar::F64, 2)),
+                   fconst(1.0, fp(Scalar::F64, 4))),
+               Error);
+  EXPECT_THROW(mad(fconst(1, fp(Scalar::F32, 2)), fconst(1, fp(Scalar::F32, 2)),
+                   fconst(1, fp(Scalar::F64, 2))),
+               Error);
+  EXPECT_THROW(lane(fconst(1, fp(Scalar::F32, 2)), 2), Error);
+  EXPECT_THROW(builtin(BuiltinFn::LocalId, 2), Error);
+}
+
+// Builds a simple kernel: out[gid] = a[gid] * alpha + out[gid] over a 1-D
+// (N x 1) range, vector width `lanes`.
+Kernel axpy_kernel(Scalar s, int lanes) {
+  KernelBuilder b("axpy", s);
+  b.add_arg("out", ArgKind::GlobalPtr, s);
+  b.add_arg("a", ArgKind::GlobalConstPtr, s);
+  b.add_arg("alpha", ArgKind::Float, s);
+  const int gid = b.decl_var("gid", i32());
+  b.append(assign(gid, builtin(BuiltinFn::GlobalId, 0)));
+  const Type vt = fp(s, lanes);
+  ExprPtr idx = b.ref(gid) * lanes;
+  b.append(store_global(
+      0, idx,
+      mad(splat(arg_ref(2, fp(s, 1)), lanes), load_global(1, idx, vt),
+          load_global(0, idx, vt))));
+  return b.build();
+}
+
+TEST(Interp, AxpyComputesLanewise) {
+  Kernel k = axpy_kernel(Scalar::F64, 2);
+  auto out = make_buffer(8 * sizeof(double));
+  auto a = make_buffer(8 * sizeof(double));
+  for (int i = 0; i < 8; ++i) {
+    out->as<double>()[i] = i;
+    a->as<double>()[i] = 10 * i;
+  }
+  const Counters c = launch(k, {4, 1}, {2, 1},
+                            {ArgValue::of(out), ArgValue::of(a),
+                             ArgValue::of_float(0.5)});
+  for (int i = 0; i < 8; ++i)
+    EXPECT_DOUBLE_EQ(out->as<double>()[i], i + 5.0 * i);
+  EXPECT_EQ(c.work_items, 4u);
+  EXPECT_EQ(c.work_groups, 2u);
+  EXPECT_EQ(c.flops, 4u * 2u * 2u);  // one mad of width 2 per item
+  EXPECT_EQ(c.global_load_bytes, 4u * 2u * 2u * 8u);
+  EXPECT_EQ(c.global_store_bytes, 4u * 2u * 8u);
+}
+
+TEST(Interp, SinglePrecisionRoundsEachOperation) {
+  // 1 + 2^-30 rounds away in float but not in double.
+  for (Scalar s : {Scalar::F32, Scalar::F64}) {
+    KernelBuilder b("round", s);
+    b.add_arg("out", ArgKind::GlobalPtr, s);
+    const Type t1 = fp(s, 1);
+    b.append(store_global(
+        0, iconst(0),
+        bin(BinOp::FAdd, fconst(1.0, t1), fconst(9.313e-10, t1))));
+    Kernel k = b.build();
+    auto out = make_buffer(8);
+    launch(k, {1, 1}, {1, 1}, {ArgValue::of(out)});
+    const double got = s == Scalar::F32
+                           ? static_cast<double>(out->as<float>()[0])
+                           : out->as<double>()[0];
+    if (s == Scalar::F32) {
+      EXPECT_EQ(got, 1.0);
+    } else {
+      EXPECT_GT(got, 1.0);
+    }
+  }
+}
+
+TEST(Interp, LocalMemorySharesAcrossItemsWithBarrier) {
+  // Each item writes its lx to Lm[lx], barrier, then reads Lm[(lx+1)%4]:
+  // a shuffle that only works when local memory is truly shared.
+  KernelBuilder b("shuffle", Scalar::F64);
+  b.add_arg("out", ArgKind::GlobalPtr, Scalar::F64);
+  const int lm = b.decl_array("Lm", Scalar::F64, 4, AddrSpace::Local);
+  const int lx = b.decl_var("lx", i32());
+  const int nxt = b.decl_var("nxt", i32());
+  const Type t1 = fp(Scalar::F64, 1);
+  b.append(assign(lx, builtin(BuiltinFn::LocalId, 0)));
+  b.append(assign(nxt, bin(BinOp::Mod, b.ref(lx) + 1, iconst(4))));
+  // Store 100 + lx as a float value: use splat of int via fconst trick —
+  // write the value through a private var loaded from an integer-valued
+  // expression is not supported, so store mad(lx_as_float...) instead:
+  // simplest: Lm[lx] = alpha-like literal plus... we store literal 7.0 at
+  // lx and check the shuffle pattern by position instead.
+  b.append(store_local(lm, b.ref(lx), fconst(7.0, t1)));
+  b.append(barrier());
+  b.append(store_global(0, b.ref(lx), load_local(lm, b.ref(nxt), t1)));
+  Kernel k = b.build();
+  auto out = make_buffer(4 * sizeof(double));
+  const Counters c = launch(k, {4, 1}, {4, 1}, {ArgValue::of(out)});
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(out->as<double>()[i], 7.0);
+  EXPECT_EQ(c.barriers, 1u);
+  EXPECT_EQ(c.local_store_bytes, 4u * 8u);
+  EXPECT_EQ(c.local_load_bytes, 4u * 8u);
+}
+
+TEST(Interp, PrivateMemoryIsPerItem) {
+  // Each item stages its own input element through a private array, then
+  // writes it out. Because every statement runs across all items before
+  // the next one (lockstep), a shared "private" array would leak the last
+  // writer's value to everyone; per-item isolation must preserve each
+  // item's own element.
+  KernelBuilder b("priv", Scalar::F32);
+  b.add_arg("out", ArgKind::GlobalPtr, Scalar::F32);
+  b.add_arg("a", ArgKind::GlobalConstPtr, Scalar::F32);
+  const int arr = b.decl_array("P", Scalar::F32, 1, AddrSpace::Private);
+  const Type t1 = fp(Scalar::F32, 1);
+  b.append(store_private(arr, iconst(0),
+                         load_global(1, builtin(BuiltinFn::GlobalId, 0),
+                                     t1)));
+  b.append(store_global(0, builtin(BuiltinFn::GlobalId, 0),
+                        load_private(arr, iconst(0), t1)));
+  Kernel k = b.build();
+  auto out = make_buffer(4 * sizeof(float));
+  auto a = make_buffer(4 * sizeof(float));
+  for (int j = 0; j < 4; ++j) a->as<float>()[j] = static_cast<float>(j);
+  launch(k, {4, 1}, {4, 1}, {ArgValue::of(out), ArgValue::of(a)});
+  for (int j = 0; j < 4; ++j)
+    EXPECT_EQ(out->as<float>()[j], static_cast<float>(j));
+}
+
+TEST(Interp, UniformLoopRunsLockstep) {
+  // out[gid] = sum of 3 increments computed in a uniform loop.
+  KernelBuilder b("loop", Scalar::F64);
+  b.add_arg("out", ArgKind::GlobalPtr, Scalar::F64);
+  b.add_arg("n", ArgKind::Int, Scalar::I32);
+  const int acc = b.decl_var("acc", fp(Scalar::F64, 1));
+  const int i = b.decl_var("i", i32());
+  b.append(assign(acc, fconst(0.0, fp(Scalar::F64, 1))));
+  b.append(for_loop(
+      i, iconst(0), arg_ref(1, i32()), iconst(1),
+      {assign(acc, bin(BinOp::FAdd, b.ref(acc),
+                       fconst(1.0, fp(Scalar::F64, 1))))}));
+  b.append(store_global(0, builtin(BuiltinFn::GlobalId, 0), b.ref(acc)));
+  Kernel k = b.build();
+  auto out = make_buffer(2 * sizeof(double));
+  launch(k, {2, 1}, {2, 1}, {ArgValue::of(out), ArgValue::of_int(3)});
+  EXPECT_DOUBLE_EQ(out->as<double>()[0], 3.0);
+  EXPECT_DOUBLE_EQ(out->as<double>()[1], 3.0);
+}
+
+TEST(Interp, NonUniformLoopBoundsAreRejected) {
+  KernelBuilder b("bad", Scalar::F64);
+  b.add_arg("out", ArgKind::GlobalPtr, Scalar::F64);
+  const int i = b.decl_var("i", i32());
+  const int lx = b.decl_var("lx", i32());
+  b.append(assign(lx, builtin(BuiltinFn::LocalId, 0)));
+  b.append(for_loop(i, iconst(0), b.ref(lx) + 1, iconst(1),
+                    {store_global(0, b.ref(i),
+                                  fconst(1.0, fp(Scalar::F64, 1)))}));
+  Kernel k = b.build();
+  auto out = make_buffer(64);
+  EXPECT_THROW(launch(k, {2, 1}, {2, 1}, {ArgValue::of(out)}), Error);
+}
+
+TEST(Interp, OutOfRangeAccessIsCaught) {
+  Kernel k = axpy_kernel(Scalar::F64, 2);
+  auto small = make_buffer(2 * sizeof(double));  // too small for 4 items
+  auto a = make_buffer(8 * sizeof(double));
+  EXPECT_THROW(launch(k, {4, 1}, {2, 1},
+                      {ArgValue::of(small), ArgValue::of(a),
+                       ArgValue::of_float(1.0)}),
+               Error);
+}
+
+TEST(Interp, ArgumentValidation) {
+  Kernel k = axpy_kernel(Scalar::F64, 1);
+  auto buf = make_buffer(64);
+  // Wrong count.
+  EXPECT_THROW(launch(k, {2, 1}, {2, 1}, {ArgValue::of(buf)}), Error);
+  // Scalar passed where buffer expected.
+  EXPECT_THROW(launch(k, {2, 1}, {2, 1},
+                      {ArgValue::of_int(0), ArgValue::of(buf),
+                       ArgValue::of_float(1.0)}),
+               Error);
+  // Global size not a multiple of local size.
+  EXPECT_THROW(launch(k, {3, 1}, {2, 1},
+                      {ArgValue::of(buf), ArgValue::of(buf),
+                       ArgValue::of_float(1.0)}),
+               Error);
+}
+
+TEST(Interp, StoreToReadOnlyArgRejected) {
+  KernelBuilder b("ro", Scalar::F64);
+  b.add_arg("a", ArgKind::GlobalConstPtr, Scalar::F64);
+  b.append(store_global(0, iconst(0), fconst(1.0, fp(Scalar::F64, 1))));
+  Kernel k = b.build();
+  auto buf = make_buffer(64);
+  EXPECT_THROW(launch(k, {1, 1}, {1, 1}, {ArgValue::of(buf)}), Error);
+}
+
+TEST(Interp, ReqdWorkGroupSizeEnforced) {
+  KernelBuilder b("wg", Scalar::F32);
+  b.add_arg("out", ArgKind::GlobalPtr, Scalar::F32);
+  b.set_reqd_local(4, 1);
+  b.append(store_global(0, builtin(BuiltinFn::GlobalId, 0),
+                        fconst(1.0, fp(Scalar::F32, 1))));
+  Kernel k = b.build();
+  auto buf = make_buffer(64);
+  EXPECT_NO_THROW(launch(k, {4, 1}, {4, 1}, {ArgValue::of(buf)}));
+  EXPECT_THROW(launch(k, {4, 1}, {2, 1}, {ArgValue::of(buf)}), Error);
+}
+
+// ---- emitter ---------------------------------------------------------------
+
+TEST(Emit, AxpyLooksLikeOpenCL) {
+  const Kernel k = axpy_kernel(Scalar::F64, 2);
+  const std::string src = emit_opencl(k);
+  EXPECT_NE(src.find("#pragma OPENCL EXTENSION cl_khr_fp64 : enable"),
+            std::string::npos);
+  EXPECT_NE(src.find("__kernel"), std::string::npos);
+  EXPECT_NE(src.find("void axpy(__global double* out, "
+                     "__global const double* a, const double alpha)"),
+            std::string::npos);
+  EXPECT_NE(src.find("vload2"), std::string::npos);
+  EXPECT_NE(src.find("vstore2"), std::string::npos);
+  EXPECT_NE(src.find("mad("), std::string::npos);
+  EXPECT_NE(src.find("get_global_id(0)"), std::string::npos);
+  // Balanced braces and parens.
+  EXPECT_EQ(std::count(src.begin(), src.end(), '{'),
+            std::count(src.begin(), src.end(), '}'));
+  EXPECT_EQ(std::count(src.begin(), src.end(), '('),
+            std::count(src.begin(), src.end(), ')'));
+}
+
+TEST(Emit, FloatKernelHasNoFp64Pragma) {
+  const Kernel k = axpy_kernel(Scalar::F32, 1);
+  const std::string src = emit_opencl(k);
+  EXPECT_EQ(src.find("cl_khr_fp64"), std::string::npos);
+  EXPECT_NE(src.find("float"), std::string::npos);
+}
+
+TEST(Emit, LocalDeclarationsAndBarrier) {
+  KernelBuilder b("lmem", Scalar::F32);
+  b.add_arg("out", ArgKind::GlobalPtr, Scalar::F32);
+  b.decl_array("Alm", Scalar::F32, 128, AddrSpace::Local);
+  b.append(barrier());
+  b.append(comment("hello"));
+  b.append(store_global(0, iconst(0), fconst(2.0, fp(Scalar::F32, 1))));
+  const std::string src = emit_opencl(b.build());
+  EXPECT_NE(src.find("__local float Alm[128];"), std::string::npos);
+  EXPECT_NE(src.find("barrier(CLK_LOCAL_MEM_FENCE);"), std::string::npos);
+  EXPECT_NE(src.find("/* hello */"), std::string::npos);
+  EXPECT_NE(src.find("out[0] = 2.0f;"), std::string::npos);
+}
+
+TEST(Emit, LaneAndSplatSyntax) {
+  KernelBuilder b("lanes", Scalar::F32);
+  b.add_arg("out", ArgKind::GlobalPtr, Scalar::F32);
+  const Type v4 = fp(Scalar::F32, 4);
+  ExprPtr vec = load_global(0, iconst(0), v4);
+  const std::string lane_s = emit_expr(b.build(), lane(vec, 3));
+  EXPECT_NE(lane_s.find(".s3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gemmtune::ir
+
+namespace gemmtune::ir {
+namespace {
+
+TEST(Interp, SelectShortCircuitsAndComparisons) {
+  // out[gid] = (gid < n) ? a[gid] : 0 — the untaken branch must not fault
+  // even though a[] is too small for the full range.
+  KernelBuilder b("guard", Scalar::F64);
+  b.add_arg("out", ArgKind::GlobalPtr, Scalar::F64);
+  b.add_arg("a", ArgKind::GlobalConstPtr, Scalar::F64);
+  b.add_arg("n", ArgKind::Int, Scalar::I32);
+  const int gid = b.decl_var("gid", i32());
+  const Type t1 = fp(Scalar::F64, 1);
+  b.append(assign(gid, builtin(BuiltinFn::GlobalId, 0)));
+  b.append(store_global(
+      0, b.ref(gid),
+      select(bin(BinOp::Lt, b.ref(gid), arg_ref(2, i32())),
+             load_global(1, b.ref(gid), t1), fconst(0.0, t1))));
+  Kernel k = b.build();
+  auto out = std::make_shared<simcl::Buffer>(8 * sizeof(double));
+  auto a = std::make_shared<simcl::Buffer>(3 * sizeof(double));  // short!
+  for (int i = 0; i < 3; ++i) a->as<double>()[i] = 10.0 + i;
+  launch(k, {8, 1}, {4, 1},
+         {ArgValue::of(out), ArgValue::of(a), ArgValue::of_int(3)});
+  for (int i = 0; i < 8; ++i)
+    EXPECT_DOUBLE_EQ(out->as<double>()[i], i < 3 ? 10.0 + i : 0.0);
+}
+
+TEST(Interp, IfMasksDivergentItems) {
+  // if (gid < 2) out[gid] = 1.0; — only the first two items write.
+  KernelBuilder b("mask", Scalar::F32);
+  b.add_arg("out", ArgKind::GlobalPtr, Scalar::F32);
+  const int gid = b.decl_var("gid", i32());
+  b.append(assign(gid, builtin(BuiltinFn::GlobalId, 0)));
+  b.append(if_then(bin(BinOp::Lt, b.ref(gid), iconst(2)),
+                   {store_global(0, b.ref(gid),
+                                 fconst(1.0, fp(Scalar::F32, 1)))}));
+  Kernel k = b.build();
+  auto out = std::make_shared<simcl::Buffer>(4 * sizeof(float));
+  launch(k, {4, 1}, {4, 1}, {ArgValue::of(out)});
+  EXPECT_EQ(out->as<float>()[0], 1.0f);
+  EXPECT_EQ(out->as<float>()[1], 1.0f);
+  EXPECT_EQ(out->as<float>()[2], 0.0f);
+  EXPECT_EQ(out->as<float>()[3], 0.0f);
+}
+
+TEST(Interp, BarrierInsideDivergentIfIsRejected) {
+  KernelBuilder b("badbar", Scalar::F32);
+  b.add_arg("out", ArgKind::GlobalPtr, Scalar::F32);
+  const int gid = b.decl_var("gid", i32());
+  b.append(assign(gid, builtin(BuiltinFn::GlobalId, 0)));
+  b.append(if_then(bin(BinOp::Lt, b.ref(gid), iconst(1)), {barrier()}));
+  Kernel k = b.build();
+  auto out = std::make_shared<simcl::Buffer>(4 * sizeof(float));
+  EXPECT_THROW(launch(k, {2, 1}, {2, 1}, {ArgValue::of(out)}), Error);
+  // A uniformly-true condition keeps all items active: barrier is fine.
+  KernelBuilder b2("okbar", Scalar::F32);
+  b2.add_arg("out", ArgKind::GlobalPtr, Scalar::F32);
+  b2.append(if_then(bin(BinOp::Lt, iconst(0), iconst(1)), {barrier()}));
+  Kernel k2 = b2.build();
+  EXPECT_NO_THROW(launch(k2, {2, 1}, {2, 1}, {ArgValue::of(out)}));
+}
+
+TEST(Emit, SelectIfAndComparisonsPrint) {
+  KernelBuilder b("ctl", Scalar::F64);
+  b.add_arg("out", ArgKind::GlobalPtr, Scalar::F64);
+  const int gid = b.decl_var("gid", i32());
+  const Type t1 = fp(Scalar::F64, 1);
+  b.append(assign(gid, builtin(BuiltinFn::GlobalId, 0)));
+  b.append(if_then(
+      bin(BinOp::And, bin(BinOp::Lt, b.ref(gid), iconst(4)),
+          bin(BinOp::Lt, iconst(0), b.ref(gid))),
+      {store_global(0, b.ref(gid),
+                    select(bin(BinOp::Lt, b.ref(gid), iconst(2)),
+                           fconst(1.0, t1), fconst(2.0, t1)))}));
+  const std::string src = emit_opencl(b.build());
+  EXPECT_NE(src.find("if (((gid < 4) && (0 < gid))) {"), std::string::npos);
+  EXPECT_NE(src.find("((gid < 2) ? 1.0 : 2.0)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gemmtune::ir

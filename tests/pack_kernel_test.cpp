@@ -1,0 +1,134 @@
+// Generated pack/unpack kernels must agree with the host packing routines
+// for every layout and transpose combination.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "codegen/pack_generator.hpp"
+#include "common/rng.hpp"
+#include "kernelir/emit.hpp"
+#include "kernelir/interp.hpp"
+#include "layout/packing.hpp"
+#include "simcl/runtime.hpp"
+
+namespace gemmtune {
+namespace {
+
+using codegen::PackKernelArgs;
+using codegen::Precision;
+
+simcl::BufferPtr make_buffer(std::size_t bytes) {
+  return std::make_shared<simcl::Buffer>(bytes);
+}
+
+std::vector<ir::ArgValue> pack_args(simcl::BufferPtr dst, simcl::BufferPtr src,
+                                    index_t R, index_t C, index_t Rp,
+                                    index_t Cp, index_t ld) {
+  std::vector<ir::ArgValue> args(7);
+  args[PackKernelArgs::dst] = ir::ArgValue::of(std::move(dst));
+  args[PackKernelArgs::src] = ir::ArgValue::of(std::move(src));
+  args[PackKernelArgs::R] = ir::ArgValue::of_int(R);
+  args[PackKernelArgs::C] = ir::ArgValue::of_int(C);
+  args[PackKernelArgs::Rp] = ir::ArgValue::of_int(Rp);
+  args[PackKernelArgs::Cp] = ir::ArgValue::of_int(Cp);
+  args[PackKernelArgs::ld] = ir::ArgValue::of_int(ld);
+  return args;
+}
+
+class PackKernel
+    : public ::testing::TestWithParam<std::tuple<BlockLayout, Transpose>> {};
+
+TEST_P(PackKernel, MatchesHostPackingForAOperand) {
+  const auto [layout, trans] = GetParam();
+  const index_t M = 13, K = 7, Mwg = 8, Kwg = 4;
+  const auto e = packed_extents(M, 8, K, Mwg, 8, Kwg);
+  Rng rng(17);
+  Matrix<double> A(trans == Transpose::No ? M : K,
+                   trans == Transpose::No ? K : M);
+  A.fill_random(rng);
+  const auto want = pack_a(A, trans, M, K, e.Mp, e.Kp, layout, Mwg, Kwg);
+
+  // Device path: upload the column-major host matrix, run the generated
+  // pack kernel over the live K x M region (dst is pre-zeroed = padding).
+  // A operand: dst(r=k, c=m) = op(A)(m, k); for non-transposed A (M x K,
+  // col-major, ld = M) that element sits at src[r*ld... see
+  // pack_generator.hpp's mapping table.
+  auto src = make_buffer(A.size() * sizeof(double));
+  std::memcpy(src->data(), A.data(), A.size() * sizeof(double));
+  auto dst = make_buffer(want.size() * sizeof(double));
+  ir::Kernel k = codegen::generate_pack_kernel(
+      Precision::DP, layout, static_cast<int>(Kwg), static_cast<int>(Mwg),
+      /*src_row_major_rc=*/trans == Transpose::No);
+  ir::launch(k, {K, M}, {1, 1},
+             pack_args(dst, src, K, M, e.Kp, e.Mp, A.ld()));
+
+  std::vector<double> got(want.size());
+  std::memcpy(got.data(), dst->data(), got.size() * sizeof(double));
+  EXPECT_EQ(got, want);
+}
+
+TEST_P(PackKernel, MatchesHostPackingForBOperand) {
+  const auto [layout, trans] = GetParam();
+  const index_t K = 7, N = 11, Kwg = 4, Nwg = 8;
+  const auto e = packed_extents(8, N, K, 8, Nwg, Kwg);
+  Rng rng(18);
+  Matrix<float> B(trans == Transpose::No ? K : N,
+                  trans == Transpose::No ? N : K);
+  B.fill_random(rng);
+  const auto want = pack_b(B, trans, K, N, e.Kp, e.Np, layout, Kwg, Nwg);
+
+  auto src = make_buffer(B.size() * sizeof(float));
+  std::memcpy(src->data(), B.data(), B.size() * sizeof(float));
+  auto dst = make_buffer(want.size() * sizeof(float));
+  // B operand: dst(r=k, c=n) = op(B)(k, n); non-transposed B is col-major
+  // K x N so the element is src[c*ld + r] (src_row_major_rc = false).
+  ir::Kernel k = codegen::generate_pack_kernel(
+      Precision::SP, layout, static_cast<int>(Kwg), static_cast<int>(Nwg),
+      /*src_row_major_rc=*/trans == Transpose::Yes);
+  ir::launch(k, {K, N}, {1, 1},
+             pack_args(dst, src, K, N, e.Kp, e.Np, B.ld()));
+
+  std::vector<float> got(want.size());
+  std::memcpy(got.data(), dst->data(), got.size() * sizeof(float));
+  EXPECT_EQ(got, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PackKernel,
+    ::testing::Combine(::testing::Values(BlockLayout::RowMajor,
+                                         BlockLayout::CBL, BlockLayout::RBL),
+                       ::testing::Values(Transpose::No, Transpose::Yes)),
+    [](const auto& info) {
+      return std::string(to_string(std::get<0>(info.param))) +
+             (std::get<1>(info.param) == Transpose::Yes ? "_T" : "_N");
+    });
+
+TEST(UnpackKernel, InvertsThePaddedCBuffer) {
+  const index_t M = 5, N = 6, Mp = 8, Np = 8;
+  Rng rng(19);
+  Matrix<double> C(M, N);
+  C.fill_random(rng);
+  const auto padded = pack_c(C, M, N, Mp, Np);
+  auto src = make_buffer(padded.size() * sizeof(double));
+  std::memcpy(src->data(), padded.data(), padded.size() * sizeof(double));
+  Matrix<double> out(M, N);
+  auto dst = make_buffer(out.size() * sizeof(double));
+  ir::Kernel k = codegen::generate_unpack_c_kernel(Precision::DP);
+  ir::launch(k, {M, N}, {1, 1},
+             pack_args(dst, src, M, N, Mp, Np, out.ld()));
+  std::memcpy(out.data(), dst->data(), out.size() * sizeof(double));
+  EXPECT_EQ(max_abs_diff(out, C), 0.0);
+}
+
+TEST(PackKernelSource, EmitsDivModAddressing) {
+  const ir::Kernel k = codegen::generate_pack_kernel(Precision::DP,
+                                                     BlockLayout::RBL, 8, 16,
+                                                     false);
+  const std::string src = ir::emit_opencl(k);
+  EXPECT_NE(src.find("__kernel"), std::string::npos);
+  EXPECT_NE(src.find("/ 8"), std::string::npos);
+  EXPECT_NE(src.find("% 16"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gemmtune

@@ -1,0 +1,128 @@
+// Runtime-layer tests: program building, kernel lookup, argument binding
+// checks, enqueue semantics and the counter-based duration model.
+#include <gtest/gtest.h>
+
+#include "codegen/gemm_generator.hpp"
+#include "codegen/pack_generator.hpp"
+#include "codegen/paper_kernels.hpp"
+#include "kernelir/emit.hpp"
+#include "rt/program.hpp"
+#include "simcl/device_registry.hpp"
+
+namespace gemmtune {
+namespace {
+
+using codegen::Precision;
+
+const std::string kAxpySrc =
+    "__kernel void axpy(__global double* out, __global const double* a, "
+    "const double alpha, const int n)\n"
+    "{\n"
+    "  int gid;\n"
+    "  gid = (int)get_global_id(0);\n"
+    "  out[gid] = mad(alpha, a[gid], out[gid]);\n"
+    "}\n";
+
+TEST(RtProgram, BuildsAndListsKernels) {
+  simcl::Context ctx(simcl::device_spec(simcl::DeviceId::Fermi));
+  std::string src = kAxpySrc;
+  src += ir::emit_opencl(codegen::generate_unpack_c_kernel(Precision::DP));
+  rt::Program prog(ctx, src);
+  const auto names = prog.kernel_names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "axpy");
+  EXPECT_EQ(names[1], "unpack_c_dp");
+  EXPECT_NO_THROW(prog.kernel("axpy"));
+  EXPECT_THROW(prog.kernel("missing"), Error);
+}
+
+TEST(RtProgram, BuildRejectsOversizedLocalMemory) {
+  // A kernel demanding 64 KB of local memory cannot build for Cayman
+  // (32 KB) but builds for Tahiti (64 KB).
+  std::string src =
+      "__kernel void big(__global float* out)\n"
+      "{\n"
+      "  __local float L[16384];\n"
+      "  L[0] = 1.0f;\n"
+      "  out[0] = L[0];\n"
+      "}\n";
+  simcl::Context tahiti(simcl::device_spec(simcl::DeviceId::Tahiti));
+  EXPECT_NO_THROW(rt::Program(tahiti, src));
+  simcl::Context cayman(simcl::device_spec(simcl::DeviceId::Cayman));
+  EXPECT_THROW(rt::Program(cayman, src), Error);
+}
+
+TEST(RtKernelCall, BindsArgsAndExecutes) {
+  simcl::Context ctx(simcl::device_spec(simcl::DeviceId::Tahiti));
+  rt::Program prog(ctx, kAxpySrc);
+  auto out = ctx.create_buffer(8 * sizeof(double));
+  auto a = ctx.create_buffer(8 * sizeof(double));
+  for (int i = 0; i < 8; ++i) {
+    out->as<double>()[i] = 1.0;
+    a->as<double>()[i] = i;
+  }
+  simcl::CommandQueue q(ctx);
+  rt::KernelCall call(prog, "axpy");
+  call.arg(0, out).arg(1, a).arg(2, 3.0).arg(3, std::int64_t{8});
+  const auto c = call.enqueue(q, {8, 1}, {4, 1});
+  for (int i = 0; i < 8; ++i)
+    EXPECT_DOUBLE_EQ(out->as<double>()[i], 1.0 + 3.0 * i);
+  EXPECT_EQ(c.work_items, 8u);
+  ASSERT_EQ(q.events().size(), 1u);
+  EXPECT_EQ(q.events()[0].name, "axpy");
+  EXPECT_GT(q.events()[0].seconds, 0);
+}
+
+TEST(RtKernelCall, RejectsBadBindings) {
+  simcl::Context ctx(simcl::device_spec(simcl::DeviceId::Tahiti));
+  rt::Program prog(ctx, kAxpySrc);
+  rt::KernelCall call(prog, "axpy");
+  auto buf = ctx.create_buffer(64);
+  EXPECT_THROW(call.arg(0, 5.0), Error);               // buffer arg, float given
+  EXPECT_THROW(call.arg(2, buf), Error);               // float arg, buffer given
+  EXPECT_THROW(call.arg(3, 2.5), Error);               // int arg, float given
+  EXPECT_THROW(call.arg(9, std::int64_t{1}), Error);   // out of range
+  // Unbound arguments are caught at enqueue.
+  simcl::CommandQueue q(ctx);
+  rt::KernelCall incomplete(prog, "axpy");
+  incomplete.arg(0, buf);
+  EXPECT_THROW(incomplete.enqueue(q, {4, 1}, {4, 1}), Error);
+}
+
+TEST(RtKernelCall, ExplicitDurationOverridesTheModel) {
+  simcl::Context ctx(simcl::device_spec(simcl::DeviceId::Kepler));
+  rt::Program prog(ctx, kAxpySrc);
+  auto out = ctx.create_buffer(4 * sizeof(double));
+  auto a = ctx.create_buffer(4 * sizeof(double));
+  simcl::CommandQueue q(ctx);
+  rt::KernelCall call(prog, "axpy");
+  call.arg(0, out).arg(1, a).arg(2, 1.0).arg(3, std::int64_t{4});
+  call.enqueue(q, {4, 1}, {4, 1}, 0.125);
+  EXPECT_DOUBLE_EQ(q.elapsed_seconds(), 0.125);
+}
+
+TEST(RtCountersTime, ScalesWithWork) {
+  const auto& dev = simcl::device_spec(simcl::DeviceId::Tahiti);
+  ir::Counters small, large;
+  small.flops = 1000;
+  small.global_load_bytes = 1000;
+  large.flops = 1000000000;
+  large.global_load_bytes = 4000000000;
+  EXPECT_GT(rt::counters_time(dev, large), rt::counters_time(dev, small));
+  // Launch overhead floors tiny launches.
+  EXPECT_GE(rt::counters_time(dev, small), dev.kernel_launch_us * 1e-6);
+}
+
+TEST(RtProgram, GemmProgramFromTableII) {
+  // A full generated GEMM kernel builds as a program on its own device.
+  for (simcl::DeviceId id : simcl::evaluation_devices()) {
+    const auto p = codegen::table2_entry(id, Precision::SP).params;
+    simcl::Context ctx(simcl::device_spec(id));
+    const std::string src =
+        ir::emit_opencl(codegen::generate_gemm_kernel(p));
+    EXPECT_NO_THROW(rt::Program(ctx, src)) << simcl::to_string(id);
+  }
+}
+
+}  // namespace
+}  // namespace gemmtune

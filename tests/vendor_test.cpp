@@ -1,0 +1,84 @@
+// Vendor baseline model tests: coverage, Table III anchoring, and curve
+// behaviour.
+#include <gtest/gtest.h>
+
+#include "vendor/baselines.hpp"
+
+namespace gemmtune {
+namespace {
+
+using codegen::Precision;
+using simcl::DeviceId;
+
+TEST(Vendor, EveryDeviceHasATableIIIVendor) {
+  for (DeviceId id : simcl::evaluation_devices()) {
+    for (Precision prec : {Precision::DP, Precision::SP}) {
+      const auto& b = vendor::table3_vendor(id, prec);
+      EXPECT_FALSE(b.name.empty());
+      for (GemmType t : all_gemm_types())
+        EXPECT_GT(vendor::baseline_gflops(b, t, 4096), 0);
+    }
+  }
+}
+
+TEST(Vendor, SaturationsAnchorTableIII) {
+  // Spot-check Table III vendor numbers (saturation = reported max).
+  const auto& clblas_dp = vendor::table3_vendor(DeviceId::Tahiti,
+                                                Precision::DP);
+  EXPECT_DOUBLE_EQ(clblas_dp.sat[0], 647);  // NN
+  EXPECT_DOUBLE_EQ(clblas_dp.sat[1], 731);  // NT
+  EXPECT_DOUBLE_EQ(clblas_dp.sat[2], 549);  // TN
+  const auto& clblas_sp = vendor::table3_vendor(DeviceId::Tahiti,
+                                                Precision::SP);
+  EXPECT_DOUBLE_EQ(clblas_sp.sat[2], 1476);  // the big TN SGEMM dip
+  const auto& mkl = vendor::table3_vendor(DeviceId::SandyBridge,
+                                          Precision::DP);
+  EXPECT_EQ(mkl.name, "Intel MKL 2011.10.319");
+  EXPECT_DOUBLE_EQ(mkl.sat[0], 138);
+  const auto& acml = vendor::table3_vendor(DeviceId::Bulldozer,
+                                           Precision::SP);
+  EXPECT_DOUBLE_EQ(acml.sat[0], 103);
+}
+
+TEST(Vendor, CurvesAreMonotoneAndSaturating) {
+  for (DeviceId id : simcl::evaluation_devices()) {
+    const auto& b = vendor::table3_vendor(id, Precision::DP);
+    double prev = 0;
+    for (std::int64_t n = 256; n <= 8192; n *= 2) {
+      const double g = vendor::baseline_gflops(b, GemmType::NN, n);
+      EXPECT_GT(g, prev);
+      EXPECT_LT(g, b.sat[0]);
+      prev = g;
+    }
+    // Near saturation by n = 8192.
+    EXPECT_GT(prev, 0.9 * b.sat[0]);
+  }
+}
+
+TEST(Vendor, ExtraCurvesExist) {
+  EXPECT_NO_THROW(vendor::baseline_by_name(DeviceId::Fermi, Precision::DP,
+                                           "MAGMA"));
+  EXPECT_NO_THROW(vendor::baseline_by_name(DeviceId::SandyBridge,
+                                           Precision::DP, "ATLAS"));
+  EXPECT_NO_THROW(vendor::baseline_by_name(DeviceId::SandyBridge,
+                                           Precision::DP,
+                                           "This study (Intel SDK 2012)"));
+  EXPECT_NO_THROW(vendor::baseline_by_name(DeviceId::Tahiti, Precision::DP,
+                                           "Our previous study"));
+  EXPECT_NO_THROW(vendor::baseline_by_name(DeviceId::Cypress, Precision::DP,
+                                           "Nakasato"));
+  EXPECT_NO_THROW(vendor::baseline_by_name(DeviceId::Cypress, Precision::DP,
+                                           "Du et al."));
+  EXPECT_THROW(vendor::baseline_by_name(DeviceId::Cayman, Precision::DP,
+                                        "MAGMA"),
+               Error);
+}
+
+TEST(Vendor, BaselinesListIsStable) {
+  const auto a = vendor::baselines(DeviceId::SandyBridge, Precision::DP);
+  EXPECT_EQ(a.size(), 3u);  // MKL, ATLAS, SDK-2012 build
+  EXPECT_EQ(a.front().name, "Intel MKL 2011.10.319");
+}
+
+}  // namespace
+}  // namespace gemmtune

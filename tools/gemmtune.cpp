@@ -1,0 +1,9 @@
+// The gemmtune command-line tool; see src/cli/cli.hpp for commands.
+#include <iostream>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return gemmtune::cli::run(args, std::cout);
+}
