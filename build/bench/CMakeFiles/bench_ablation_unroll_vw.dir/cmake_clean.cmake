@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_unroll_vw.dir/bench_ablation_unroll_vw.cpp.o"
+  "CMakeFiles/bench_ablation_unroll_vw.dir/bench_ablation_unroll_vw.cpp.o.d"
+  "bench_ablation_unroll_vw"
+  "bench_ablation_unroll_vw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_unroll_vw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cypress_comparison.dir/bench_cypress_comparison.cpp.o"
+  "CMakeFiles/bench_cypress_comparison.dir/bench_cypress_comparison.cpp.o.d"
+  "bench_cypress_comparison"
+  "bench_cypress_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cypress_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

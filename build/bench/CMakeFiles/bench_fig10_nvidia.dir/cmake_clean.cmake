@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_nvidia.dir/bench_fig10_nvidia.cpp.o"
+  "CMakeFiles/bench_fig10_nvidia.dir/bench_fig10_nvidia.cpp.o.d"
+  "bench_fig10_nvidia"
+  "bench_fig10_nvidia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_nvidia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

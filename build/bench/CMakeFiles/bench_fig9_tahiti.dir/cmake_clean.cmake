@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_tahiti.dir/bench_fig9_tahiti.cpp.o"
+  "CMakeFiles/bench_fig9_tahiti.dir/bench_fig9_tahiti.cpp.o.d"
+  "bench_fig9_tahiti"
+  "bench_fig9_tahiti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_tahiti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

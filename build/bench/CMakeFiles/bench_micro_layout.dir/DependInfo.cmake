@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_layout.cpp" "bench/CMakeFiles/bench_micro_layout.dir/bench_micro_layout.cpp.o" "gcc" "bench/CMakeFiles/bench_micro_layout.dir/bench_micro_layout.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blas/CMakeFiles/gemmtune_hostblas.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/gemmtune_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gemmtune_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_layout.dir/bench_micro_layout.cpp.o"
+  "CMakeFiles/bench_micro_layout.dir/bench_micro_layout.cpp.o.d"
+  "bench_micro_layout"
+  "bench_micro_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

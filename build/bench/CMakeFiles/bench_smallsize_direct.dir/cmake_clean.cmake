@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smallsize_direct.dir/bench_smallsize_direct.cpp.o"
+  "CMakeFiles/bench_smallsize_direct.dir/bench_smallsize_direct.cpp.o.d"
+  "bench_smallsize_direct"
+  "bench_smallsize_direct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smallsize_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_impl_vs_vendor.dir/bench_table3_impl_vs_vendor.cpp.o"
+  "CMakeFiles/bench_table3_impl_vs_vendor.dir/bench_table3_impl_vs_vendor.cpp.o.d"
+  "bench_table3_impl_vs_vendor"
+  "bench_table3_impl_vs_vendor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_impl_vs_vendor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/autotune_device.cpp" "examples/CMakeFiles/autotune_device.dir/autotune_device.cpp.o" "gcc" "examples/CMakeFiles/autotune_device.dir/autotune_device.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tuner/CMakeFiles/gemmtune_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/gemmtune_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/gemmtune_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/gemmtune_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelir/CMakeFiles/gemmtune_kernelir.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcl/CMakeFiles/gemmtune_simcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gemmtune_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

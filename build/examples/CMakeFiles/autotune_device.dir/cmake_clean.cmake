@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_device.dir/autotune_device.cpp.o"
+  "CMakeFiles/autotune_device.dir/autotune_device.cpp.o.d"
+  "autotune_device"
+  "autotune_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocked_lu.dir/blocked_lu.cpp.o"
+  "CMakeFiles/blocked_lu.dir/blocked_lu.cpp.o.d"
+  "blocked_lu"
+  "blocked_lu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocked_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

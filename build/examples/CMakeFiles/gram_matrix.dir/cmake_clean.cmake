@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gram_matrix.dir/gram_matrix.cpp.o"
+  "CMakeFiles/gram_matrix.dir/gram_matrix.cpp.o.d"
+  "gram_matrix"
+  "gram_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gram_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opencl_host_flow.dir/opencl_host_flow.cpp.o"
+  "CMakeFiles/opencl_host_flow.dir/opencl_host_flow.cpp.o.d"
+  "opencl_host_flow"
+  "opencl_host_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opencl_host_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

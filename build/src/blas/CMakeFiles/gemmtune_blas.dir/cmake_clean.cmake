@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemmtune_blas.dir/gemm.cpp.o"
+  "CMakeFiles/gemmtune_blas.dir/gemm.cpp.o.d"
+  "libgemmtune_blas.a"
+  "libgemmtune_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemmtune_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemmtune_hostblas.dir/hostblas.cpp.o"
+  "CMakeFiles/gemmtune_hostblas.dir/hostblas.cpp.o.d"
+  "libgemmtune_hostblas.a"
+  "libgemmtune_hostblas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemmtune_hostblas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemmtune_clfront.dir/lexer.cpp.o"
+  "CMakeFiles/gemmtune_clfront.dir/lexer.cpp.o.d"
+  "CMakeFiles/gemmtune_clfront.dir/parser.cpp.o"
+  "CMakeFiles/gemmtune_clfront.dir/parser.cpp.o.d"
+  "libgemmtune_clfront.a"
+  "libgemmtune_clfront.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemmtune_clfront.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

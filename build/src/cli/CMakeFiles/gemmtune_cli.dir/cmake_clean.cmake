@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemmtune_cli.dir/cli.cpp.o"
+  "CMakeFiles/gemmtune_cli.dir/cli.cpp.o.d"
+  "libgemmtune_cli.a"
+  "libgemmtune_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemmtune_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemmtune_codegen.dir/gemm_generator.cpp.o"
+  "CMakeFiles/gemmtune_codegen.dir/gemm_generator.cpp.o.d"
+  "CMakeFiles/gemmtune_codegen.dir/pack_generator.cpp.o"
+  "CMakeFiles/gemmtune_codegen.dir/pack_generator.cpp.o.d"
+  "CMakeFiles/gemmtune_codegen.dir/paper_kernels.cpp.o"
+  "CMakeFiles/gemmtune_codegen.dir/paper_kernels.cpp.o.d"
+  "CMakeFiles/gemmtune_codegen.dir/params.cpp.o"
+  "CMakeFiles/gemmtune_codegen.dir/params.cpp.o.d"
+  "libgemmtune_codegen.a"
+  "libgemmtune_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemmtune_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

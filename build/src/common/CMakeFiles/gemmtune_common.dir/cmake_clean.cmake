@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemmtune_common.dir/json.cpp.o"
+  "CMakeFiles/gemmtune_common.dir/json.cpp.o.d"
+  "CMakeFiles/gemmtune_common.dir/strings.cpp.o"
+  "CMakeFiles/gemmtune_common.dir/strings.cpp.o.d"
+  "CMakeFiles/gemmtune_common.dir/table.cpp.o"
+  "CMakeFiles/gemmtune_common.dir/table.cpp.o.d"
+  "libgemmtune_common.a"
+  "libgemmtune_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemmtune_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

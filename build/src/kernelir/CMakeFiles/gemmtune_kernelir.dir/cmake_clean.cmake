@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemmtune_kernelir.dir/emit.cpp.o"
+  "CMakeFiles/gemmtune_kernelir.dir/emit.cpp.o.d"
+  "CMakeFiles/gemmtune_kernelir.dir/interp.cpp.o"
+  "CMakeFiles/gemmtune_kernelir.dir/interp.cpp.o.d"
+  "CMakeFiles/gemmtune_kernelir.dir/kernel.cpp.o"
+  "CMakeFiles/gemmtune_kernelir.dir/kernel.cpp.o.d"
+  "libgemmtune_kernelir.a"
+  "libgemmtune_kernelir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemmtune_kernelir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgemmtune_kernelir.a"
+)

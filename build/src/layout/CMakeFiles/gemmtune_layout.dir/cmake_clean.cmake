@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemmtune_layout.dir/packing.cpp.o"
+  "CMakeFiles/gemmtune_layout.dir/packing.cpp.o.d"
+  "libgemmtune_layout.a"
+  "libgemmtune_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemmtune_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemmtune_perfmodel.dir/calibration.cpp.o"
+  "CMakeFiles/gemmtune_perfmodel.dir/calibration.cpp.o.d"
+  "CMakeFiles/gemmtune_perfmodel.dir/model.cpp.o"
+  "CMakeFiles/gemmtune_perfmodel.dir/model.cpp.o.d"
+  "CMakeFiles/gemmtune_perfmodel.dir/statics.cpp.o"
+  "CMakeFiles/gemmtune_perfmodel.dir/statics.cpp.o.d"
+  "libgemmtune_perfmodel.a"
+  "libgemmtune_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemmtune_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

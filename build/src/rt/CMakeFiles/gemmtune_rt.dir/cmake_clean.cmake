@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemmtune_rt.dir/program.cpp.o"
+  "CMakeFiles/gemmtune_rt.dir/program.cpp.o.d"
+  "libgemmtune_rt.a"
+  "libgemmtune_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemmtune_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

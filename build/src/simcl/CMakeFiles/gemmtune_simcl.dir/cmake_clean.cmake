@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemmtune_simcl.dir/device_registry.cpp.o"
+  "CMakeFiles/gemmtune_simcl.dir/device_registry.cpp.o.d"
+  "CMakeFiles/gemmtune_simcl.dir/runtime.cpp.o"
+  "CMakeFiles/gemmtune_simcl.dir/runtime.cpp.o.d"
+  "libgemmtune_simcl.a"
+  "libgemmtune_simcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemmtune_simcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gemmtune_simcl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tuner/candidates.cpp" "src/tuner/CMakeFiles/gemmtune_tuner.dir/candidates.cpp.o" "gcc" "src/tuner/CMakeFiles/gemmtune_tuner.dir/candidates.cpp.o.d"
+  "/root/repo/src/tuner/results_db.cpp" "src/tuner/CMakeFiles/gemmtune_tuner.dir/results_db.cpp.o" "gcc" "src/tuner/CMakeFiles/gemmtune_tuner.dir/results_db.cpp.o.d"
+  "/root/repo/src/tuner/search.cpp" "src/tuner/CMakeFiles/gemmtune_tuner.dir/search.cpp.o" "gcc" "src/tuner/CMakeFiles/gemmtune_tuner.dir/search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gemmtune_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/gemmtune_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/gemmtune_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcl/CMakeFiles/gemmtune_simcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/gemmtune_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernelir/CMakeFiles/gemmtune_kernelir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

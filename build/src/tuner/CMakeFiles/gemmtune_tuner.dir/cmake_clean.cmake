@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemmtune_tuner.dir/candidates.cpp.o"
+  "CMakeFiles/gemmtune_tuner.dir/candidates.cpp.o.d"
+  "CMakeFiles/gemmtune_tuner.dir/results_db.cpp.o"
+  "CMakeFiles/gemmtune_tuner.dir/results_db.cpp.o.d"
+  "CMakeFiles/gemmtune_tuner.dir/search.cpp.o"
+  "CMakeFiles/gemmtune_tuner.dir/search.cpp.o.d"
+  "libgemmtune_tuner.a"
+  "libgemmtune_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemmtune_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

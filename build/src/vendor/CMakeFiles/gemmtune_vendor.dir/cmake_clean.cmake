@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemmtune_vendor.dir/baselines.cpp.o"
+  "CMakeFiles/gemmtune_vendor.dir/baselines.cpp.o.d"
+  "libgemmtune_vendor.a"
+  "libgemmtune_vendor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemmtune_vendor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clfront_test.dir/clfront_test.cpp.o"
+  "CMakeFiles/clfront_test.dir/clfront_test.cpp.o.d"
+  "clfront_test"
+  "clfront_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clfront_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_gemm_test.dir/codegen_gemm_test.cpp.o"
+  "CMakeFiles/codegen_gemm_test.dir/codegen_gemm_test.cpp.o.d"
+  "codegen_gemm_test"
+  "codegen_gemm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_gemm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

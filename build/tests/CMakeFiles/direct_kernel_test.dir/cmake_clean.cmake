@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/direct_kernel_test.dir/direct_kernel_test.cpp.o"
+  "CMakeFiles/direct_kernel_test.dir/direct_kernel_test.cpp.o.d"
+  "direct_kernel_test"
+  "direct_kernel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/direct_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_codegen_test.dir/fuzz_codegen_test.cpp.o"
+  "CMakeFiles/fuzz_codegen_test.dir/fuzz_codegen_test.cpp.o.d"
+  "fuzz_codegen_test"
+  "fuzz_codegen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_codegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

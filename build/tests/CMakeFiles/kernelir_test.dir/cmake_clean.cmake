@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernelir_test.dir/kernelir_test.cpp.o"
+  "CMakeFiles/kernelir_test.dir/kernelir_test.cpp.o.d"
+  "kernelir_test"
+  "kernelir_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernelir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pack_kernel_test.dir/pack_kernel_test.cpp.o"
+  "CMakeFiles/pack_kernel_test.dir/pack_kernel_test.cpp.o.d"
+  "pack_kernel_test"
+  "pack_kernel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pack_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcl_test.dir/simcl_test.cpp.o"
+  "CMakeFiles/simcl_test.dir/simcl_test.cpp.o.d"
+  "simcl_test"
+  "simcl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemmtune_tool.dir/gemmtune.cpp.o"
+  "CMakeFiles/gemmtune_tool.dir/gemmtune.cpp.o.d"
+  "gemmtune"
+  "gemmtune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemmtune_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
