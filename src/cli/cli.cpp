@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "blas/gemm.hpp"
 #include "blas/hostblas.hpp"
@@ -12,6 +13,7 @@
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "kernelir/emit.hpp"
 #include "tuner/results_db.hpp"
 #include "vendor/baselines.hpp"
@@ -90,6 +92,11 @@ int cmd_tune(const std::vector<std::string>& args, std::ostream& out) {
   out << "evaluated " << stats.stage1_evaluated << " kernels ("
       << stats.stage1_failed << " failed), stage-2 points "
       << stats.stage2_points << "\n";
+  if (stats.stage2_empty > 0)
+    out << "stage-2 empty sweeps: " << stats.stage2_empty
+        << (stats.used_stage1_fallback ? " (fell back to the stage-1 result)"
+                                       : "")
+        << "\n";
   out << "best: " << best.params.summary() << "\n";
   out << strf("best performance: %.1f GFlop/s at N=%lld\n", best.best_gflops,
               static_cast<long long>(best.best_n));
@@ -179,7 +186,11 @@ int cmd_verify(const std::vector<std::string>& args, std::ostream& out) {
 }
 
 int usage(std::ostream& out) {
-  out << "usage: gemmtune <command> [args]\n"
+  out << "usage: gemmtune [--threads N] <command> [args]\n"
+         "options:\n"
+         "  --threads N   worker threads for tuning and kernel\n"
+         "                interpretation (default: GEMMTUNE_THREADS if set,\n"
+         "                else all hardware threads)\n"
          "commands:\n"
          "  devices\n"
          "  emit <device> <DGEMM|SGEMM>\n"
@@ -193,10 +204,53 @@ int usage(std::ostream& out) {
 
 }  // namespace
 
+namespace {
+
+int parse_thread_count(const std::string& value) {
+  int n = 0;
+  try {
+    std::size_t used = 0;
+    n = std::stoi(value, &used);
+    check(used == value.size(), "--threads expects an integer, got '" +
+                                    value + "'");
+  } catch (const std::invalid_argument&) {
+    fail("--threads expects an integer, got '" + value + "'");
+  } catch (const std::out_of_range&) {
+    fail("--threads value '" + value + "' is out of range");
+  }
+  check(n >= 1, "--threads must be >= 1");
+  return n;
+}
+
+}  // namespace
+
 int run(const std::vector<std::string>& args, std::ostream& out) {
-  if (args.empty()) return usage(out);
-  const std::string cmd = args[0];
-  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  // Global options precede the command.
+  std::size_t first = 0;
+  try {
+    while (first < args.size() && args[first].starts_with("--")) {
+      const std::string& flag = args[first];
+      if (flag == "--threads") {
+        check(first + 1 < args.size(), "--threads requires a value");
+        set_thread_override(parse_thread_count(args[first + 1]));
+        first += 2;
+      } else if (flag.starts_with("--threads=")) {
+        set_thread_override(parse_thread_count(flag.substr(10)));
+        first += 1;
+      } else {
+        fail("unknown option '" + flag + "'");
+      }
+    }
+  } catch (const std::exception& e) {
+    out << "error: " << e.what() << "\n";
+    return 1;
+  }
+  if (first >= args.size()) return usage(out);
+  const std::string cmd = args[first];
+  const std::vector<std::string> rest(args.begin() +
+                                          static_cast<std::ptrdiff_t>(first) +
+                                          1,
+                                      args.end());
   try {
     if (cmd == "devices") return cmd_devices(out);
     if (cmd == "emit") return cmd_emit(rest, out);

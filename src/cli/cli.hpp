@@ -1,5 +1,10 @@
 // Command-line interface, exposed as a library so tests can drive it.
 //
+// Global options (before the command):
+//   --threads N                      worker threads for tuning and kernel
+//                                    interpretation (overrides the
+//                                    GEMMTUNE_THREADS environment variable)
+//
 // Subcommands:
 //   devices                          list the simulated processors
 //   emit <device> <DGEMM|SGEMM>      print the tuned kernel's OpenCL C

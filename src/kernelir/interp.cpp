@@ -1,9 +1,11 @@
 #include "kernelir/interp.hpp"
 
 #include <cstring>
+#include <optional>
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "common/thread_pool.hpp"
 
 namespace gemmtune::ir {
 
@@ -21,6 +23,13 @@ inline double round_fp(double v, Scalar s) {
   return s == Scalar::F32 ? static_cast<double>(static_cast<float>(v)) : v;
 }
 
+// One interpreter execution context. A Machine owns all mutable per-group
+// scratch state (work-item registers, private/local arrays, divergence
+// mask, counters), so work-group parallelism is expressed by giving each
+// worker thread its *own* Machine over a disjoint slice of the group space:
+// threads then share only the kernel, the launch geometry, and the global
+// buffers — and distinct work-groups of a well-formed kernel write disjoint
+// buffer elements (concurrent groups race on a real device otherwise).
 class Machine {
  public:
   Machine(const Kernel& k, std::array<std::int64_t, 2> global,
@@ -32,18 +41,14 @@ class Machine {
     build_storage_maps();
   }
 
-  Counters run() {
+  /// Runs work-groups [begin, end) of the row-major linearized group space
+  /// (group g = (g % ngx, g / ngx)) and returns the counters this Machine
+  /// accumulated over them.
+  Counters run_range(std::int64_t begin, std::int64_t end) {
     const std::int64_t ngx = global_[0] / local_[0];
-    const std::int64_t ngy = global_[1] / local_[1];
-    for (std::int64_t gy = 0; gy < ngy; ++gy) {
-      for (std::int64_t gx = 0; gx < ngx; ++gx) {
-        run_group(gx, gy);
-      }
+    for (std::int64_t g = begin; g < end; ++g) {
+      run_group(g % ngx, g / ngx);
     }
-    counters_.work_groups =
-        static_cast<std::uint64_t>(ngx) * static_cast<std::uint64_t>(ngy);
-    counters_.work_items =
-        counters_.work_groups * static_cast<std::uint64_t>(items_per_group_);
     return counters_;
   }
 
@@ -492,12 +497,57 @@ class Machine {
   Counters counters_;
 };
 
+/// Field-wise sum of two counter sets (all fields are event counts, so the
+/// reduction is order-independent).
+Counters merge(Counters a, const Counters& b) {
+  a.flops += b.flops;
+  a.mads += b.mads;
+  a.global_load_bytes += b.global_load_bytes;
+  a.global_store_bytes += b.global_store_bytes;
+  a.local_load_bytes += b.local_load_bytes;
+  a.local_store_bytes += b.local_store_bytes;
+  a.barriers += b.barriers;
+  a.work_groups += b.work_groups;
+  a.work_items += b.work_items;
+  return a;
+}
+
 }  // namespace
 
 Counters launch(const Kernel& kernel, std::array<std::int64_t, 2> global,
                 std::array<std::int64_t, 2> local,
-                const std::vector<ArgValue>& args) {
-  return Machine(kernel, global, local, args).run();
+                const std::vector<ArgValue>& args, int threads) {
+  // Validate on the calling thread before any fan-out (Machine's
+  // constructor throws on malformed launches).
+  Machine machine0(kernel, global, local, args);
+  const std::int64_t ngroups =
+      (global[0] / local[0]) * (global[1] / local[1]);
+
+  std::optional<ThreadPool> local_pool;
+  if (threads > 0) local_pool.emplace(threads);
+  ThreadPool& pool = local_pool ? *local_pool : ThreadPool::global();
+
+  Counters total;
+  if (pool.size() == 1 || ngroups < 2) {
+    total = machine0.run_range(0, ngroups);
+  } else {
+    // One Machine per worker: all per-group scratch state (work-item
+    // registers, private/local arrays, counters) lives in that worker's
+    // Machine, and the counter sums are order-independent, so results and
+    // counters are identical to the serial run for any thread count.
+    std::vector<Counters> partial(static_cast<std::size_t>(pool.size()));
+    pool.parallel_for(ngroups,
+                      [&](std::int64_t begin, std::int64_t end, int worker) {
+                        Machine m(kernel, global, local, args);
+                        partial[static_cast<std::size_t>(worker)] =
+                            m.run_range(begin, end);
+                      });
+    for (const Counters& c : partial) total = merge(total, c);
+  }
+  total.work_groups = static_cast<std::uint64_t>(ngroups);
+  total.work_items = total.work_groups *
+                     static_cast<std::uint64_t>(local[0] * local[1]);
+  return total;
 }
 
 }  // namespace gemmtune::ir

@@ -6,9 +6,11 @@
 //  * local arrays per work-group,
 //  * global memory = SimCL buffers.
 //
-// Work-groups run sequentially; within a group, every statement executes
-// across all work-items before the next statement ("lockstep"). This is a
-// valid execution of any kernel whose loop bounds are work-group uniform
+// Work-groups are independent (OpenCL barriers are intra-group only), so
+// the interpreter partitions the group space across a thread pool; within a
+// group, every statement executes across all work-items before the next
+// statement ("lockstep"). This is a valid execution of any kernel whose
+// loop bounds are work-group uniform
 // and whose barriers are in uniform control flow — exactly the shape of the
 // paper's generated GEMM kernels. The interpreter *verifies* loop-bound
 // uniformity at run time and rejects non-uniform loops, so the restriction
@@ -54,6 +56,8 @@ struct Counters {
   std::uint64_t barriers = 0;           ///< per work-group barrier executions
   std::uint64_t work_groups = 0;
   std::uint64_t work_items = 0;
+
+  bool operator==(const Counters&) const = default;
 };
 
 /// Executes `kernel` over `global` work-items in groups of `local`.
@@ -61,8 +65,19 @@ struct Counters {
 /// declares a required work-group size it must match `local`. Throws
 /// gemmtune::Error on malformed kernels, out-of-range accesses, or
 /// non-uniform loop bounds. Returns the dynamic counters.
+///
+/// `threads` > 0 forces that many interpreter threads; 0 uses the
+/// process-wide configuration (--threads / GEMMTUNE_THREADS / hardware).
+/// Work-groups partition across threads, each with its own execution
+/// arena (work-item registers, private/local arrays, counters); only the
+/// argument buffers are shared, and distinct work-groups of a well-formed
+/// kernel write disjoint buffer elements (overlapping group writes race on
+/// a real device too). Buffers and counters are bit-identical to the
+/// serial run for every thread count. Concurrent launch() calls from
+/// different threads are safe as long as their writable buffers are
+/// disjoint.
 Counters launch(const Kernel& kernel, std::array<std::int64_t, 2> global,
                 std::array<std::int64_t, 2> local,
-                const std::vector<ArgValue>& args);
+                const std::vector<ArgValue>& args, int threads = 0);
 
 }  // namespace gemmtune::ir

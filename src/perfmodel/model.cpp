@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 #include "codegen/paper_kernels.hpp"
 #include "common/error.hpp"
 #include "common/intmath.hpp"
+#include "common/strings.hpp"
 
 namespace gemmtune::perfmodel {
 
@@ -63,6 +65,9 @@ PerfModel::PerfModel(simcl::DeviceId id)
     const EffFactors f = factors(ref.params);
     check(f.ok, "PerfModel: Table II kernel fails register allocation");
     seed_goodness_[i] = f.goodness();
+    // Solve the anchor now (ceiling and goodness for this precision are
+    // already in place) so the model is immutable after construction.
+    anchors_[i] = solve_anchor(prec);
   }
 }
 
@@ -286,14 +291,41 @@ double PerfModel::solve_anchor(Precision prec) const {
 }
 
 double PerfModel::alu_anchor(Precision prec) const {
-  auto& slot = anchors_[prec == Precision::DP ? 0 : 1];
-  if (slot < 0) slot = solve_anchor(prec);
-  return slot;
+  return anchors_[prec == Precision::DP ? 0 : 1];
 }
+
+namespace {
+
+/// Per-thread memo for kernel_estimate, keyed by (device, params, sizes).
+/// Thread-local, so the tuner's worker threads never contend on it.
+using EstimateCache = std::unordered_map<std::string, Estimate>;
+
+EstimateCache& estimate_cache() {
+  thread_local EstimateCache cache;
+  return cache;
+}
+
+// A full 20k-candidate stage-1 pass inserts one entry per candidate; the
+// cap bounds memory across many tunes while never evicting mid-search.
+constexpr std::size_t kEstimateCacheCap = 1 << 20;
+
+}  // namespace
+
+void PerfModel::clear_thread_cache() { estimate_cache().clear(); }
 
 Estimate PerfModel::kernel_estimate(const KernelParams& p, std::int64_t Mp,
                                     std::int64_t Np, std::int64_t Kp) const {
-  return estimate_with_anchor(p, Mp, Np, Kp, alu_anchor(p.prec));
+  EstimateCache& cache = estimate_cache();
+  std::string key = strf("%d|%s|%lld|%lld|%lld", static_cast<int>(id_),
+                         p.key().c_str(), static_cast<long long>(Mp),
+                         static_cast<long long>(Np),
+                         static_cast<long long>(Kp));
+  const auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  const Estimate e = estimate_with_anchor(p, Mp, Np, Kp, alu_anchor(p.prec));
+  if (cache.size() >= kEstimateCacheCap) cache.clear();
+  cache.emplace(std::move(key), e);
+  return e;
 }
 
 double PerfModel::kernel_gflops(const KernelParams& p,

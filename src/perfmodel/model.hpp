@@ -54,6 +54,13 @@ struct Estimate {
 };
 
 /// Performance model bound to one simulated device.
+///
+/// Thread safety: the model is immutable after construction (the Table II
+/// anchors are solved eagerly in the constructor), so all const member
+/// functions may be called concurrently from any number of threads.
+/// kernel_estimate memoizes per (device, params, M, N, K) in a per-thread
+/// cache — no locks on the hot path — so repeated stage-1/stage-2
+/// evaluations of the same point are free.
 class PerfModel {
  public:
   explicit PerfModel(simcl::DeviceId id);
@@ -62,9 +69,15 @@ class PerfModel {
   const simcl::DeviceSpec& spec() const { return dev_; }
   const DeviceCalib& calib() const { return cal_; }
 
-  /// Times the A^T*B kernel on a padded (Mp, Np, Kp) problem.
+  /// Times the A^T*B kernel on a padded (Mp, Np, Kp) problem. Memoized in
+  /// a per-thread cache; the model is a pure function of its inputs, so
+  /// cached and uncached results are identical.
   Estimate kernel_estimate(const codegen::KernelParams& p, std::int64_t Mp,
                            std::int64_t Np, std::int64_t Kp) const;
+
+  /// Drops the calling thread's kernel_estimate memo cache (used by
+  /// benchmarks that must time cold evaluations).
+  static void clear_thread_cache();
 
   /// GFlop/s on a square padded problem (0 when the kernel is infeasible).
   double kernel_gflops(const codegen::KernelParams& p, std::int64_t n) const;
@@ -109,7 +122,8 @@ class PerfModel {
   /// hardware/compiler stack's demonstrated compute frontier. Penalty
   /// factors (vector mismatch, register spills) apply on top.
   std::array<double, 2> seed_goodness_{1.0, 1.0};
-  mutable std::array<double, 2> anchors_{-1.0, -1.0};
+  /// Solved eagerly at construction so const methods stay lock-free.
+  std::array<double, 2> anchors_{-1.0, -1.0};
 };
 
 }  // namespace gemmtune::perfmodel

@@ -1,8 +1,11 @@
 #include "tuner/candidates.hpp"
 
 #include <algorithm>
+#include <iterator>
+#include <optional>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 
 namespace gemmtune::tuner {
 
@@ -30,28 +33,25 @@ std::vector<KernelParams> enumerate_candidates(simcl::DeviceId id,
                                                EnumStats* stats) {
   const simcl::DeviceSpec& dev = simcl::device_spec(id);
   EnumStats st;
-  std::vector<KernelParams> out;
-  Rng rng(opt.seed ^ 0xC0FFEEu);
-
-  // Reservoir-sample into the budget so a huge space degrades gracefully
-  // into a uniform subsample rather than a prefix-biased one.
-  auto keep = [&](const KernelParams& p) {
-    ++st.kept;
-    if (static_cast<int>(out.size()) < opt.max_candidates) {
-      out.push_back(p);
-    } else {
-      const std::uint64_t j =
-          rng.next_below(static_cast<std::uint64_t>(st.kept));
-      if (j < static_cast<std::uint64_t>(opt.max_candidates))
-        out[static_cast<std::size_t>(j)] = p;
-    }
-  };
 
   std::vector<BlockLayout> layouts = {BlockLayout::CBL, BlockLayout::RBL};
   if (opt.include_row_major) layouts.push_back(BlockLayout::RowMajor);
 
-  for (int Mwg : kMwg) {
-    for (int Nwg : kNwg) {
+  // The expensive part — walking the cross product and validating every
+  // combination — fans out over (Mwg, Nwg) chunks. Chunk index order
+  // equals the serial nested-loop walk order, so concatenating the chunk
+  // outputs reproduces the serial visit sequence exactly.
+  constexpr int nM = static_cast<int>(std::size(kMwg));
+  constexpr int nN = static_cast<int>(std::size(kNwg));
+  struct ChunkOut {
+    std::vector<KernelParams> valid;
+    std::int64_t raw = 0, invalid = 0;
+  };
+  std::vector<ChunkOut> chunks(static_cast<std::size_t>(nM * nN));
+  auto enumerate_chunk = [&](std::int64_t ci) {
+    ChunkOut& co = chunks[static_cast<std::size_t>(ci)];
+    const int Mwg = kMwg[ci / nN];
+    const int Nwg = kNwg[ci % nN];
       for (int Kwg : kKwg) {
         for (int MdimC : kDim) {
           if (Mwg % MdimC != 0) continue;
@@ -82,7 +82,7 @@ std::vector<KernelParams> enumerate_candidates(simcl::DeviceId id,
                         for (int stride = 0; stride < 4; ++stride) {
                           for (BlockLayout la : layouts) {
                             for (BlockLayout lb : layouts) {
-                              ++st.raw_combinations;
+                              ++co.raw;
                               KernelParams p;
                               p.prec = prec;
                               p.Mwg = Mwg;
@@ -102,10 +102,10 @@ std::vector<KernelParams> enumerate_candidates(simcl::DeviceId id,
                               p.layout_b = lb;
                               p.algo = algo;
                               if (validate(p, dev)) {
-                                ++st.invalid;
+                                ++co.invalid;
                                 continue;
                               }
-                              keep(p);
+                              co.valid.push_back(p);
                             }
                           }
                         }
@@ -118,8 +118,42 @@ std::vector<KernelParams> enumerate_candidates(simcl::DeviceId id,
           }
         }
       }
-    }
+  };
+
+  {
+    std::optional<ThreadPool> local_pool;
+    if (opt.threads > 0) local_pool.emplace(opt.threads);
+    ThreadPool& pool = local_pool ? *local_pool : ThreadPool::global();
+    pool.parallel_for(nM * nN,
+                      [&](std::int64_t begin, std::int64_t end, int) {
+                        for (std::int64_t ci = begin; ci < end; ++ci)
+                          enumerate_chunk(ci);
+                      });
   }
+
+  // Reservoir-sample into the budget so a huge space degrades gracefully
+  // into a uniform subsample rather than a prefix-biased one. This pass is
+  // cheap and runs serially in walk order, so the kept set (and the RNG
+  // sequence behind it) is bit-identical to the single-threaded walk.
+  std::vector<KernelParams> out;
+  Rng rng(opt.seed ^ 0xC0FFEEu);
+  auto keep = [&](const KernelParams& p) {
+    ++st.kept;
+    if (static_cast<int>(out.size()) < opt.max_candidates) {
+      out.push_back(p);
+    } else {
+      const std::uint64_t j =
+          rng.next_below(static_cast<std::uint64_t>(st.kept));
+      if (j < static_cast<std::uint64_t>(opt.max_candidates))
+        out[static_cast<std::size_t>(j)] = p;
+    }
+  };
+  for (const ChunkOut& co : chunks) {
+    st.raw_combinations += co.raw;
+    st.invalid += co.invalid;
+    for (const KernelParams& p : co.valid) keep(p);
+  }
+
   if (stats) *stats = st;
   std::sort(out.begin(), out.end(),
             [](const KernelParams& a, const KernelParams& b) {

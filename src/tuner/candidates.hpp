@@ -20,6 +20,12 @@ struct EnumOptions {
   int max_candidates = 20000;   ///< budget after validation
   std::uint64_t seed = 1;       ///< subsampling determinism
   bool include_row_major = false;  ///< also enumerate RM operand layouts
+
+  /// Worker threads for the validation sweep (the cross-product walk).
+  /// 0 uses the process-wide configuration. The candidate list is
+  /// bit-identical for every thread count: validation fans out, but the
+  /// reservoir subsample runs serially in walk order.
+  int threads = 0;
 };
 
 /// Statistics from one enumeration run (the paper reports that failed

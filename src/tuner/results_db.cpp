@@ -35,8 +35,27 @@ std::string TunedDatabase::key(simcl::DeviceId id, Precision prec) {
   return simcl::to_string(id) + "/" + to_string(prec);
 }
 
+TunedDatabase::TunedDatabase(TunedDatabase&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  results_ = std::move(other.results_);
+}
+
+TunedDatabase& TunedDatabase::operator=(TunedDatabase&& other) noexcept {
+  if (this != &other) {
+    std::scoped_lock lock(mu_, other.mu_);
+    results_ = std::move(other.results_);
+  }
+  return *this;
+}
+
+std::size_t TunedDatabase::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return results_.size();
+}
+
 std::optional<TunedKernel> TunedDatabase::find(simcl::DeviceId id,
                                                Precision prec) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = results_.find(key(id, prec));
   if (it == results_.end()) return std::nullopt;
   return it->second;
@@ -44,6 +63,7 @@ std::optional<TunedKernel> TunedDatabase::find(simcl::DeviceId id,
 
 void TunedDatabase::put(simcl::DeviceId id, Precision prec,
                         TunedKernel result) {
+  std::lock_guard<std::mutex> lock(mu_);
   results_[key(id, prec)] = std::move(result);
 }
 
@@ -51,15 +71,36 @@ const TunedKernel& TunedDatabase::get_or_tune(simcl::DeviceId id,
                                               Precision prec,
                                               const SearchOptions& opt) {
   const std::string k = key(id, prec);
-  auto it = results_.find(k);
-  if (it == results_.end()) {
-    SearchEngine engine(id);
-    it = results_.emplace(k, engine.tune(prec, opt)).first;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = results_.find(k);
+    if (it != results_.end()) return it->second;
+    if (!tuning_.contains(k)) break;
+    // Another thread is tuning this key; wait for it instead of running a
+    // duplicate multi-second search.
+    cv_.wait(lock);
   }
+  tuning_.insert(k);
+  lock.unlock();
+  TunedKernel tuned;
+  try {
+    SearchEngine engine(id);
+    tuned = engine.tune(prec, opt);
+  } catch (...) {
+    lock.lock();
+    tuning_.erase(k);
+    cv_.notify_all();
+    throw;
+  }
+  lock.lock();
+  auto it = results_.emplace(k, std::move(tuned)).first;
+  tuning_.erase(k);
+  cv_.notify_all();
   return it->second;
 }
 
 std::string TunedDatabase::save_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
   Json root = Json::object();
   for (const auto& [k, t] : results_) {
     Json entry = Json::object();

@@ -3,8 +3,11 @@
 // "should run more than five hours" per GEMM type on real hardware).
 #pragma once
 
+#include <condition_variable>
 #include <map>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 
 #include "tuner/search.hpp"
@@ -13,8 +16,19 @@ namespace gemmtune::tuner {
 
 /// In-memory store of tuning results keyed by (device, precision),
 /// serializable to a JSON document.
+///
+/// Thread safety: all member functions may be called concurrently on one
+/// instance. Concurrent get_or_tune calls for the *same* key are deduped:
+/// one caller runs the search while the others block until the result is
+/// stored; different keys tune concurrently. References returned by
+/// get_or_tune stay valid for the database's lifetime (entries are never
+/// removed).
 class TunedDatabase {
  public:
+  TunedDatabase() = default;
+  TunedDatabase(TunedDatabase&& other) noexcept;
+  TunedDatabase& operator=(TunedDatabase&& other) noexcept;
+
   /// Looks up a stored result.
   std::optional<TunedKernel> find(simcl::DeviceId id,
                                   codegen::Precision prec) const;
@@ -27,7 +41,7 @@ class TunedDatabase {
                                  codegen::Precision prec,
                                  const SearchOptions& opt = {});
 
-  std::size_t size() const { return results_.size(); }
+  std::size_t size() const;
 
   /// JSON round trip.
   std::string save_json() const;
@@ -44,6 +58,10 @@ class TunedDatabase {
 
  private:
   static std::string key(simcl::DeviceId id, codegen::Precision prec);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        ///< signals a finished tune
+  std::set<std::string> tuning_;      ///< keys with a tune in flight
   std::map<std::string, TunedKernel> results_;
 };
 

@@ -1,10 +1,12 @@
 #include "tuner/search.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "codegen/paper_kernels.hpp"
 #include "common/error.hpp"
 #include "common/intmath.hpp"
+#include "common/thread_pool.hpp"
 
 namespace gemmtune::tuner {
 
@@ -25,11 +27,29 @@ std::vector<std::pair<std::int64_t, double>> SearchEngine::sweep(
   return curve;
 }
 
+namespace {
+
+struct Scored {
+  double gflops;
+  std::size_t index;
+};
+
+/// Stage-2 measurement of one finalist.
+struct SweepResult {
+  std::vector<std::pair<std::int64_t, double>> curve;
+  double peak = 0;
+  std::int64_t peak_n = 0;
+};
+
+}  // namespace
+
 TunedKernel SearchEngine::tune(Precision prec, const SearchOptions& opt,
                                SearchStats* stats) const {
   SearchStats st;
+  EnumOptions eopt = opt.enumeration;
+  if (eopt.threads == 0) eopt.threads = opt.threads;
   std::vector<KernelParams> candidates =
-      enumerate_candidates(id_, prec, opt.enumeration, &st.enumeration);
+      enumerate_candidates(id_, prec, eopt, &st.enumeration);
   if (opt.seed_with_table2) {
     candidates.push_back(codegen::table2_entry(id_, prec).params);
   }
@@ -44,59 +64,107 @@ TunedKernel SearchEngine::tune(Precision prec, const SearchOptions& opt,
   }
   check(!candidates.empty(), "tune: no valid candidates for device");
 
-  // Stage 1: single-size measurement of every candidate.
-  struct Scored {
-    double gflops;
-    std::size_t index;
-  };
+  // An explicit per-call thread count gets its own pool; otherwise share
+  // the process-wide one.
+  std::optional<ThreadPool> local_pool;
+  if (opt.threads > 0) local_pool.emplace(opt.threads);
+  ThreadPool& pool = local_pool ? *local_pool : ThreadPool::global();
+  const auto workers = static_cast<std::size_t>(pool.size());
+
+  // Stage 1: single-size measurement of every candidate, fanned out over
+  // the pool. Chunks are contiguous and merged in chunk order, so the
+  // scored list is in candidate-index order for any thread count.
+  std::vector<std::vector<Scored>> part_scored(workers);
+  std::vector<std::int64_t> part_evaluated(workers, 0), part_failed(workers, 0);
+  pool.parallel_for(
+      static_cast<std::int64_t>(candidates.size()),
+      [&](std::int64_t begin, std::int64_t end, int worker) {
+        auto& scored = part_scored[static_cast<std::size_t>(worker)];
+        for (std::int64_t i = begin; i < end; ++i) {
+          const KernelParams& p = candidates[static_cast<std::size_t>(i)];
+          const std::int64_t n1 = model_.stage1_size(p);
+          const auto e = model_.kernel_estimate(p, n1, n1, n1);
+          ++part_evaluated[static_cast<std::size_t>(worker)];
+          if (!e.ok) {
+            ++part_failed[static_cast<std::size_t>(worker)];
+            continue;
+          }
+          scored.push_back({e.gflops, static_cast<std::size_t>(i)});
+        }
+      });
   std::vector<Scored> scored;
-  scored.reserve(candidates.size());
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    const KernelParams& p = candidates[i];
-    const std::int64_t n1 = model_.stage1_size(p);
-    const auto e = model_.kernel_estimate(p, n1, n1, n1);
-    ++st.stage1_evaluated;
-    if (!e.ok) {
-      ++st.stage1_failed;
-      continue;
-    }
-    scored.push_back({e.gflops, i});
+  for (std::size_t w = 0; w < workers; ++w) {
+    st.stage1_evaluated += part_evaluated[w];
+    st.stage1_failed += part_failed[w];
+    scored.insert(scored.end(), part_scored[w].begin(), part_scored[w].end());
   }
   check(!scored.empty(), "tune: every candidate failed stage 1");
   const std::size_t keep =
       std::min<std::size_t>(static_cast<std::size_t>(opt.stage1_keep),
                             scored.size());
-  std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(keep),
+  // Tie-break equal scores by candidate index: partial_sort is not stable,
+  // and the finalist order must not depend on how chunks interleaved.
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<std::ptrdiff_t>(keep),
                     scored.end(), [](const Scored& a, const Scored& b) {
-                      return a.gflops > b.gflops;
+                      if (a.gflops != b.gflops) return a.gflops > b.gflops;
+                      return a.index < b.index;
                     });
   scored.resize(keep);
 
-  // Stage 2: sweep the finalists over sizes <= stage2_max_n; pick the
-  // kernel with the highest performance at any size.
+  // Stage 2: sweep the finalists over sizes <= stage2_max_n in parallel,
+  // then reduce in stage-1 rank order; pick the kernel with the highest
+  // performance at any size (ties go to the better stage-1 rank).
+  std::vector<SweepResult> sweeps(keep);
+  pool.parallel_for(static_cast<std::int64_t>(keep),
+                    [&](std::int64_t begin, std::int64_t end, int) {
+                      for (std::int64_t i = begin; i < end; ++i) {
+                        SweepResult& r = sweeps[static_cast<std::size_t>(i)];
+                        r.curve = sweep(
+                            candidates[scored[static_cast<std::size_t>(i)]
+                                           .index],
+                            opt.stage2_max_n);
+                        for (const auto& [n, g] : r.curve) {
+                          if (g > r.peak) {
+                            r.peak = g;
+                            r.peak_n = n;
+                          }
+                        }
+                      }
+                    });
   TunedKernel best;
-  for (const Scored& s : scored) {
-    const KernelParams& p = candidates[s.index];
-    const auto curve = sweep(p, opt.stage2_max_n);
-    st.stage2_points += static_cast<std::int64_t>(curve.size());
-    double peak = 0;
-    std::int64_t peak_n = 0;
-    for (const auto& [n, g] : curve) {
-      if (g > peak) {
-        peak = g;
-        peak_n = n;
-      }
+  for (std::size_t i = 0; i < keep; ++i) {
+    const Scored& s = scored[i];
+    SweepResult& r = sweeps[i];
+    st.stage2_points += static_cast<std::int64_t>(r.curve.size());
+    if (r.curve.empty()) {
+      ++st.stage2_empty;
+      st.stage2_failed.push_back(candidates[s.index].summary());
     }
-    if (peak > best.best_gflops) {
-      best.params = p;
+    if (r.peak > best.best_gflops) {
+      best.params = candidates[s.index];
       best.stage1_gflops = s.gflops;
-      best.best_gflops = peak;
-      best.best_n = peak_n;
-      best.curve = curve;
+      best.best_gflops = r.peak;
+      best.best_n = r.peak_n;
+      best.curve = std::move(r.curve);
     }
   }
-  if (stats) *stats = st;
-  check(best.best_gflops > 0, "tune: stage 2 produced no measurement");
+  if (best.best_gflops <= 0) {
+    // Every finalist's sweep came back empty (e.g. stage2_max_n below the
+    // smallest blocking LCM). Fall back to the stage-1 measurement of the
+    // top-ranked finalist rather than failing the whole search.
+    st.used_stage1_fallback = true;
+    const Scored& top = scored.front();
+    best.params = candidates[top.index];
+    best.stage1_gflops = top.gflops;
+    best.best_gflops = top.gflops;
+    best.best_n = model_.stage1_size(best.params);
+    best.curve = {{best.best_n, top.gflops}};
+  }
+  if (stats) *stats = std::move(st);
+  check(best.best_gflops > 0,
+        "tune: neither stage 2 nor the stage-1 fallback produced a positive "
+        "measurement");
   return best;
 }
 

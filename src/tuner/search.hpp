@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -31,6 +32,11 @@ struct SearchOptions {
   std::int64_t stage2_max_n = 8192;  ///< paper: N <= 8192
   bool seed_with_table2 = true;   ///< include the paper's kernels as seeds
 
+  /// Worker threads for stage-1 scoring and stage-2 sweeps. 0 uses the
+  /// process-wide configuration (--threads / GEMMTUNE_THREADS / hardware).
+  /// The tuned result is bit-identical for every thread count.
+  int threads = 0;
+
   /// Constrained searches for the ablation studies (Fig. 8 and the
   /// Section IV-A local-memory experiments): restrict the candidate set to
   /// one algorithm and/or to kernels that do (true) or do not (false) use
@@ -45,6 +51,13 @@ struct SearchStats {
   std::int64_t stage1_evaluated = 0;
   std::int64_t stage1_failed = 0;  ///< model rejected at run time
   std::int64_t stage2_points = 0;
+  std::int64_t stage2_empty = 0;  ///< finalists whose sweep had no points
+  /// Summaries of the finalists whose stage-2 sweep came back empty, in
+  /// stage-1 rank order.
+  std::vector<std::string> stage2_failed;
+  /// True when every finalist's sweep was empty and the result fell back
+  /// to the best stage-1 measurement.
+  bool used_stage1_fallback = false;
 };
 
 /// The selected kernel and its measured profile.
@@ -58,6 +71,12 @@ struct TunedKernel {
 };
 
 /// Search engine bound to one device.
+///
+/// tune() fans stage-1 scoring and stage-2 sweeps out over a thread pool
+/// (SearchOptions::threads). Candidates are statically chunked, per-thread
+/// statistics are merged in chunk order, and ties are broken by (GFlop/s,
+/// then candidate index), so the returned TunedKernel — params, curve and
+/// all measured numbers — is bit-identical for every thread count.
 class SearchEngine {
  public:
   explicit SearchEngine(simcl::DeviceId id);

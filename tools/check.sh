@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI-style verification: the tier-1 build + full test suite, then a
+# ThreadSanitizer build of the concurrency-sensitive tests (the parallel
+# execution layer and the work-group-parallel interpreter).
+#
+# Usage: tools/check.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+echo "== tier-1: build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== ThreadSanitizer: parallel_test + kernelir_test =="
+cmake -B build-tsan -S . -DGEMMTUNE_TSAN=ON >/dev/null
+cmake --build build-tsan -j "$JOBS" --target parallel_test kernelir_test
+TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir build-tsan --output-on-failure -R '^(parallel_test|kernelir_test)$'
+
+echo "== all checks passed =="
