@@ -10,7 +10,8 @@
 using namespace gemmtune;
 using codegen::Precision;
 
-int main() {
+int main(int argc, char** argv) {
+  gemmtune::bench::init("ablation_layout", &argc, argv);
   bench::section("Ablation: block-major vs row-major layouts (Tahiti DGEMM)");
   tuner::SearchEngine engine(simcl::DeviceId::Tahiti);
 

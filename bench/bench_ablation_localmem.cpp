@@ -9,7 +9,8 @@
 using namespace gemmtune;
 using codegen::Precision;
 
-int main() {
+int main(int argc, char** argv) {
+  gemmtune::bench::init("ablation_localmem", &argc, argv);
   bench::section("Ablation: local memory usage (Section IV-A)");
   TextTable t;
   t.set_header({"Processor", "Prec", "with local", "without local",

@@ -11,7 +11,8 @@
 using namespace gemmtune;
 using codegen::Precision;
 
-int main() {
+int main(int argc, char** argv) {
+  gemmtune::bench::init("ablation_unroll_vw", &argc, argv);
   bench::section("Ablation: innermost unrolling factor Kwi (DGEMM)");
   {
     TextTable t;

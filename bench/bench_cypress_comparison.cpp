@@ -9,7 +9,8 @@
 using namespace gemmtune;
 using codegen::Precision;
 
-int main() {
+int main(int argc, char** argv) {
+  gemmtune::bench::init("cypress_comparison", &argc, argv);
   bench::section("Section IV-C: DGEMM on the Cypress GPU (HD 5870)");
   const auto entry = codegen::table2_entry(simcl::DeviceId::Cypress,
                                            Precision::DP);

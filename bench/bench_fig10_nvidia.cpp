@@ -7,7 +7,8 @@
 using namespace gemmtune;
 using codegen::Precision;
 
-int main() {
+int main(int argc, char** argv) {
+  gemmtune::bench::init("fig10_nvidia", &argc, argv);
   for (Precision prec : {Precision::DP, Precision::SP}) {
     bench::section(strf("Fig. 10 (%s NN): Fermi & Kepler implementations",
                         to_string(prec)));

@@ -7,7 +7,8 @@
 using namespace gemmtune;
 using codegen::Precision;
 
-int main() {
+int main(int argc, char** argv) {
+  gemmtune::bench::init("fig11_sandybridge", &argc, argv);
   bench::section("Fig. 11: Sandy Bridge DGEMM implementations");
   blas::GemmEngine engine(simcl::DeviceId::SandyBridge);
   const auto& mkl = vendor::baseline_by_name(simcl::DeviceId::SandyBridge,

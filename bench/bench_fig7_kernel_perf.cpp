@@ -11,7 +11,8 @@
 using namespace gemmtune;
 using codegen::Precision;
 
-int main() {
+int main(int argc, char** argv) {
+  gemmtune::bench::init("fig7_kernel_perf", &argc, argv);
   const std::int64_t grid[] = {512,  1024, 1536, 2048, 2560,
                                3072, 4096, 5120, 6144};
   for (Precision prec : {Precision::DP, Precision::SP}) {

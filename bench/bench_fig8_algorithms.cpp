@@ -14,7 +14,8 @@ using namespace gemmtune;
 using codegen::Algorithm;
 using codegen::Precision;
 
-int main() {
+int main(int argc, char** argv) {
+  gemmtune::bench::init("fig8_algorithms", &argc, argv);
   bench::section("Fig. 8: relative performance of BA / PL / DB");
   TextTable t;
   t.set_header({"Processor", "BA (DGEMM)", "PL (DGEMM)", "DB (DGEMM)",

@@ -7,7 +7,8 @@
 using namespace gemmtune;
 using codegen::Precision;
 
-int main() {
+int main(int argc, char** argv) {
+  gemmtune::bench::init("fig9_tahiti", &argc, argv);
   for (Precision prec : {Precision::DP, Precision::SP}) {
     bench::section(strf("Fig. 9 (%s NN): Tahiti implementations vs size",
                         to_string(prec)));

@@ -3,6 +3,8 @@
 // rates (the quantities that bound a full tuning run's wall-clock).
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include "codegen/gemm_generator.hpp"
 #include "codegen/paper_kernels.hpp"
 #include "kernelir/interp.hpp"
@@ -80,4 +82,30 @@ BENCHMARK(BM_PerfModelEstimate);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): records each benchmark's
+// per-iteration real time into the common-schema result file.
+namespace {
+
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) {
+      if (r.error_occurred) continue;
+      gemmtune::bench::scalar(r.benchmark_name() + ".real_time_ns",
+                              r.GetAdjustedRealTime());
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gemmtune::bench::init("micro_interp", &argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -2,6 +2,8 @@
 // three operand layouts, and the reference GEMM tiers.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
+
 #include "blas/hostblas.hpp"
 #include "common/rng.hpp"
 #include "layout/packing.hpp"
@@ -66,4 +68,30 @@ BENCHMARK(BM_HostGemmParallel)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): records each benchmark's
+// per-iteration real time into the common-schema result file.
+namespace {
+
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) {
+      if (r.error_occurred) continue;
+      gemmtune::bench::scalar(r.benchmark_name() + ".real_time_ns",
+                              r.GetAdjustedRealTime());
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gemmtune::bench::init("micro_layout", &argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

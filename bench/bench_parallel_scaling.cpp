@@ -55,6 +55,7 @@ Json runs_json(const std::vector<Run>& runs) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  gemmtune::bench::init("parallel_scaling", &argc, argv);
   const std::string device = argc > 1 ? argv[1] : "Tahiti";
   const int candidates = argc > 2 ? std::atoi(argv[2]) : 20000;
   const simcl::DeviceId id = simcl::device_by_name(device);

@@ -10,7 +10,8 @@
 using namespace gemmtune;
 using codegen::Precision;
 
-int main() {
+int main(int argc, char** argv) {
+  gemmtune::bench::init("smallsize_direct", &argc, argv);
   bench::section(
       "Extension: copy-free small-size kernel and the combined engine "
       "(Tahiti DGEMM)");

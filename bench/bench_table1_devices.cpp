@@ -5,7 +5,8 @@
 
 using namespace gemmtune;
 
-int main() {
+int main(int argc, char** argv) {
+  gemmtune::bench::init("table1_devices", &argc, argv);
   bench::section("Table I: processor specification (simulated registry)");
   TextTable t;
   t.set_header({"Field", "Tahiti", "Cayman", "Kepler", "Fermi",

@@ -11,7 +11,8 @@
 using namespace gemmtune;
 using codegen::Precision;
 
-int main() {
+int main(int argc, char** argv) {
+  gemmtune::bench::init("table2_best_kernels", &argc, argv);
   for (Precision prec : {Precision::DP, Precision::SP}) {
     bench::section(strf("Table II (%s): fastest kernels", to_string(prec)));
     TextTable t;

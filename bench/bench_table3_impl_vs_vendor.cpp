@@ -32,7 +32,8 @@ constexpr double kPaperOurs[6][2][4] = {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gemmtune::bench::init("table3_impl_vs_vendor", &argc, argv);
   bench::section("Table III: our GEMM implementations vs vendor libraries");
   TextTable t;
   t.set_header({"Processor", "Impl.", "DGEMM NN", "NT", "TN", "TT",

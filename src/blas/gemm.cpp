@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "kernelir/interp.hpp"
 #include "layout/packing.hpp"
+#include "trace/trace.hpp"
 
 namespace gemmtune::blas {
 
@@ -94,6 +95,7 @@ std::optional<GemmProfile> GemmEngine::direct_profile_for(
 
 GemmProfile GemmEngine::estimate(GemmType, Precision prec, index_t M,
                                  index_t N, index_t K) {
+  trace::counter_add("gemm.estimates", 1);
   const tuner::TunedKernel& t = kernel_for(prec);
   GemmProfile packed = profile_for(t.params, M, N, K);
   // The paper's future-work combination: use the copy-free kernel when it
@@ -117,6 +119,8 @@ GemmProfile GemmEngine::gemm(Transpose ta, Transpose tb, index_t M,
                              Matrix<T>& C, bool verify) {
   constexpr Precision prec =
       std::is_same_v<T, float> ? Precision::SP : Precision::DP;
+  trace::Span gemm_span("gemm.gemm");
+  trace::counter_add("gemm.calls", 1);
   const tuner::TunedKernel& tuned = kernel_for(prec);
   const KernelParams& p = tuned.params;
 
@@ -124,6 +128,8 @@ GemmProfile GemmEngine::gemm(Transpose ta, Transpose tb, index_t M,
   GemmProfile packed_prof = profile_for(p, M, N, K);
   if (const auto direct = direct_profile_for(p, M, N, K);
       direct && direct->total_seconds < packed_prof.total_seconds) {
+    trace::Span direct_span("gemm.direct");
+    trace::counter_add("gemm.direct_calls", 1);
     const KernelParams q = direct_params(p);
     const bool guarded =
         M % q.Mwg != 0 || N % q.Nwg != 0 || K % q.Kwg != 0;
@@ -166,36 +172,53 @@ GemmProfile GemmEngine::gemm(Transpose ta, Transpose tb, index_t M,
 
   // Host-side packing stands in for the device-side copy kernels; the
   // simulated cost of those kernels is what profile_for charges.
-  auto abuf = pack_a(A, ta, M, K, ext.Mp, ext.Kp, p.layout_a, p.Mwg, p.Kwg);
-  auto bbuf = pack_b(B, tb, K, N, ext.Kp, ext.Np, p.layout_b, p.Kwg, p.Nwg);
-  auto cbuf = pack_c(C, M, N, ext.Mp, ext.Np);
-
   simcl::Context ctx(simcl::device_spec(id_));
-  auto dA = ctx.create_buffer(abuf.size() * sizeof(T));
-  auto dB = ctx.create_buffer(bbuf.size() * sizeof(T));
-  auto dC = ctx.create_buffer(cbuf.size() * sizeof(T));
-  std::memcpy(dA->data(), abuf.data(), abuf.size() * sizeof(T));
-  std::memcpy(dB->data(), bbuf.data(), bbuf.size() * sizeof(T));
-  std::memcpy(dC->data(), cbuf.data(), cbuf.size() * sizeof(T));
+  simcl::BufferPtr dA, dB, dC;
+  std::size_t csize = 0;
+  {
+    trace::Span pack_span("gemm.pack");
+    auto abuf =
+        pack_a(A, ta, M, K, ext.Mp, ext.Kp, p.layout_a, p.Mwg, p.Kwg);
+    auto bbuf =
+        pack_b(B, tb, K, N, ext.Kp, ext.Np, p.layout_b, p.Kwg, p.Nwg);
+    auto cbuf = pack_c(C, M, N, ext.Mp, ext.Np);
+    csize = cbuf.size();
+    dA = ctx.create_buffer(abuf.size() * sizeof(T));
+    dB = ctx.create_buffer(bbuf.size() * sizeof(T));
+    dC = ctx.create_buffer(cbuf.size() * sizeof(T));
+    std::memcpy(dA->data(), abuf.data(), abuf.size() * sizeof(T));
+    std::memcpy(dB->data(), bbuf.data(), bbuf.size() * sizeof(T));
+    std::memcpy(dC->data(), cbuf.data(), cbuf.size() * sizeof(T));
+    trace::counter_add(
+        "gemm.pack_bytes",
+        (abuf.size() + bbuf.size() + cbuf.size()) * sizeof(T));
+  }
 
-  ir::Kernel kernel = codegen::generate_gemm_kernel(p);
-  const auto geo = codegen::launch_geometry(p, ext.Mp, ext.Np);
-  std::vector<ir::ArgValue> args(8);
-  args[GemmKernelArgs::C] = ir::ArgValue::of(dC);
-  args[GemmKernelArgs::A] = ir::ArgValue::of(dA);
-  args[GemmKernelArgs::B] = ir::ArgValue::of(dB);
-  args[GemmKernelArgs::M] = ir::ArgValue::of_int(ext.Mp);
-  args[GemmKernelArgs::N] = ir::ArgValue::of_int(ext.Np);
-  args[GemmKernelArgs::K] = ir::ArgValue::of_int(ext.Kp);
-  args[GemmKernelArgs::alpha] = ir::ArgValue::of_float(alpha);
-  args[GemmKernelArgs::beta] = ir::ArgValue::of_float(beta);
-  ir::launch(kernel, geo.global, geo.local, args);
+  {
+    trace::Span kernel_span("gemm.kernel");
+    ir::Kernel kernel = codegen::generate_gemm_kernel(p);
+    const auto geo = codegen::launch_geometry(p, ext.Mp, ext.Np);
+    std::vector<ir::ArgValue> args(8);
+    args[GemmKernelArgs::C] = ir::ArgValue::of(dC);
+    args[GemmKernelArgs::A] = ir::ArgValue::of(dA);
+    args[GemmKernelArgs::B] = ir::ArgValue::of(dB);
+    args[GemmKernelArgs::M] = ir::ArgValue::of_int(ext.Mp);
+    args[GemmKernelArgs::N] = ir::ArgValue::of_int(ext.Np);
+    args[GemmKernelArgs::K] = ir::ArgValue::of_int(ext.Kp);
+    args[GemmKernelArgs::alpha] = ir::ArgValue::of_float(alpha);
+    args[GemmKernelArgs::beta] = ir::ArgValue::of_float(beta);
+    ir::launch(kernel, geo.global, geo.local, args);
+  }
 
-  std::vector<T> cout(cbuf.size());
-  std::memcpy(cout.data(), dC->data(), cout.size() * sizeof(T));
   Matrix<T> Cin;
   if (verify) Cin = C;
-  unpack_c(cout, ext.Mp, ext.Np, C, M, N);
+  {
+    trace::Span merge_span("gemm.merge");
+    std::vector<T> cout(csize);
+    std::memcpy(cout.data(), dC->data(), cout.size() * sizeof(T));
+    unpack_c(cout, ext.Mp, ext.Np, C, M, N);
+    trace::counter_add("gemm.merge_bytes", cout.size() * sizeof(T));
+  }
 
   GemmProfile prof = packed_prof;
   if (verify) {

@@ -15,6 +15,8 @@
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "kernelir/emit.hpp"
+#include "layout/matrix.hpp"
+#include "trace/trace.hpp"
 #include "tuner/results_db.hpp"
 #include "vendor/baselines.hpp"
 
@@ -80,6 +82,29 @@ int cmd_compile(const std::vector<std::string>& args, std::ostream& out) {
   return 0;
 }
 
+/// Functional spot-check of a tuned kernel: one blocking tile
+/// (Mwg x Nwg x Kwg) through the interpreter against the host reference.
+/// Cheap (one work-group of real execution), and it exercises the
+/// interpreter so a `tune --metrics` run reports interp counters too.
+template <typename T>
+std::pair<double, double> functional_check(simcl::DeviceId id,
+                                           const tuner::TunedKernel& best) {
+  tuner::TunedDatabase db;
+  db.put(id, best.params.prec, best);
+  blas::GemmEngine engine(id, std::move(db));
+  const index_t M = best.params.Mwg;
+  const index_t N = best.params.Nwg;
+  const index_t K = best.params.Kwg;
+  Rng rng(2026);
+  Matrix<T> A(M, K), B(K, N), C(M, N);
+  A.fill_random(rng);
+  B.fill_random(rng);
+  C.fill_random(rng);
+  const auto prof = engine.gemm(Transpose::No, Transpose::No, M, N, K,
+                                T(1.5), A, B, T(-0.5), C, true);
+  return {prof.max_error, hostblas::gemm_tolerance<T>(K)};
+}
+
 int cmd_tune(const std::vector<std::string>& args, std::ostream& out) {
   check(args.size() >= 2, "usage: tune <device> <DGEMM|SGEMM> [budget] [out.json]");
   const auto id = simcl::device_by_name(args[0]);
@@ -103,6 +128,14 @@ int cmd_tune(const std::vector<std::string>& args, std::ostream& out) {
   const auto paper = codegen::table2_entry(id, prec);
   out << strf("paper Table II: %.1f GFlop/s (ratio %.2f)\n", paper.max_gflops,
               best.best_gflops / paper.max_gflops);
+  const auto [err, tol] = prec == Precision::DP
+                              ? functional_check<double>(id, best)
+                              : functional_check<float>(id, best);
+  out << strf("functional check (one %dx%dx%d tile): max |error| = %.3e "
+              "(tolerance %.3e): %s\n",
+              best.params.Mwg, best.params.Nwg, best.params.Kwg, err, tol,
+              err <= tol ? "PASS" : "FAIL");
+  check(err <= tol, "tune: winning kernel failed the functional check");
   if (args.size() >= 4) {
     tuner::TunedDatabase db;
     db.put(id, prec, best);
@@ -186,11 +219,15 @@ int cmd_verify(const std::vector<std::string>& args, std::ostream& out) {
 }
 
 int usage(std::ostream& out) {
-  out << "usage: gemmtune [--threads N] <command> [args]\n"
+  out << "usage: gemmtune [--threads N] [--trace FILE] [--metrics FILE] "
+         "<command> [args]\n"
          "options:\n"
-         "  --threads N   worker threads for tuning and kernel\n"
-         "                interpretation (default: GEMMTUNE_THREADS if set,\n"
-         "                else all hardware threads)\n"
+         "  --threads N     worker threads for tuning and kernel\n"
+         "                  interpretation (default: GEMMTUNE_THREADS if\n"
+         "                  set, else all hardware threads)\n"
+         "  --trace FILE    write a Chrome trace-event JSON timeline\n"
+         "  --metrics FILE  write aggregated metrics JSON (span durations,\n"
+         "                  counters, gauges, cache hit rates)\n"
          "commands:\n"
          "  devices\n"
          "  emit <device> <DGEMM|SGEMM>\n"
@@ -227,6 +264,7 @@ int parse_thread_count(const std::string& value) {
 int run(const std::vector<std::string>& args, std::ostream& out) {
   // Global options precede the command.
   std::size_t first = 0;
+  std::string trace_file, metrics_file;
   try {
     while (first < args.size() && args[first].starts_with("--")) {
       const std::string& flag = args[first];
@@ -237,6 +275,16 @@ int run(const std::vector<std::string>& args, std::ostream& out) {
       } else if (flag.starts_with("--threads=")) {
         set_thread_override(parse_thread_count(flag.substr(10)));
         first += 1;
+      } else if (flag == "--trace" || flag == "--metrics") {
+        check(first + 1 < args.size(), flag + " requires a file path");
+        (flag == "--trace" ? trace_file : metrics_file) = args[first + 1];
+        first += 2;
+      } else if (flag.starts_with("--trace=")) {
+        trace_file = flag.substr(8);
+        first += 1;
+      } else if (flag.starts_with("--metrics=")) {
+        metrics_file = flag.substr(10);
+        first += 1;
       } else {
         fail("unknown option '" + flag + "'");
       }
@@ -245,27 +293,41 @@ int run(const std::vector<std::string>& args, std::ostream& out) {
     out << "error: " << e.what() << "\n";
     return 1;
   }
-  if (first >= args.size()) return usage(out);
+  if (!trace_file.empty() || !metrics_file.empty()) {
+    trace::reset();
+    trace::set_enabled(true);
+  }
+  // Writes the requested observability files; runs even when the command
+  // failed, so a crashing tune still leaves its partial timeline behind.
+  auto write_observability = [&](int rc) {
+    try {
+      if (!trace_file.empty()) trace::write_trace_file(trace_file);
+      if (!metrics_file.empty()) trace::write_metrics_file(metrics_file);
+    } catch (const std::exception& e) {
+      out << "error: " << e.what() << "\n";
+      return rc == 0 ? 1 : rc;
+    }
+    return rc;
+  };
+  if (first >= args.size()) return write_observability(usage(out));
   const std::string cmd = args[first];
   const std::vector<std::string> rest(args.begin() +
                                           static_cast<std::ptrdiff_t>(first) +
                                           1,
                                       args.end());
   try {
-    if (cmd == "devices") return cmd_devices(out);
-    if (cmd == "emit") return cmd_emit(rest, out);
-    if (cmd == "compile") return cmd_compile(rest, out);
-    if (cmd == "tune") return cmd_tune(rest, out);
-    if (cmd == "estimate") return cmd_estimate(rest, out);
-    if (cmd == "sweep") return cmd_sweep(rest, out);
-    if (cmd == "verify") return cmd_verify(rest, out);
-    return usage(out);
-  } catch (const Error& e) {
-    out << "error: " << e.what() << "\n";
-    return 1;
+    if (cmd == "devices") return write_observability(cmd_devices(out));
+    if (cmd == "emit") return write_observability(cmd_emit(rest, out));
+    if (cmd == "compile") return write_observability(cmd_compile(rest, out));
+    if (cmd == "tune") return write_observability(cmd_tune(rest, out));
+    if (cmd == "estimate")
+      return write_observability(cmd_estimate(rest, out));
+    if (cmd == "sweep") return write_observability(cmd_sweep(rest, out));
+    if (cmd == "verify") return write_observability(cmd_verify(rest, out));
+    return write_observability(usage(out));
   } catch (const std::exception& e) {
     out << "error: " << e.what() << "\n";
-    return 1;
+    return write_observability(1);
   }
 }
 

@@ -4,6 +4,11 @@
 //   --threads N                      worker threads for tuning and kernel
 //                                    interpretation (overrides the
 //                                    GEMMTUNE_THREADS environment variable)
+//   --trace FILE                     enable tracing; write a Chrome
+//                                    trace-event JSON timeline to FILE
+//   --metrics FILE                   enable tracing; write the aggregated
+//                                    metrics JSON (spans, counters, gauges)
+//                                    to FILE
 //
 // Subcommands:
 //   devices                          list the simulated processors

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "common/thread_pool.hpp"
+#include "trace/trace.hpp"
 
 namespace gemmtune::ir {
 
@@ -517,6 +518,7 @@ Counters merge(Counters a, const Counters& b) {
 Counters launch(const Kernel& kernel, std::array<std::int64_t, 2> global,
                 std::array<std::int64_t, 2> local,
                 const std::vector<ArgValue>& args, int threads) {
+  trace::Span launch_span("interp.launch");
   // Validate on the calling thread before any fan-out (Machine's
   // constructor throws on malformed launches).
   Machine machine0(kernel, global, local, args);
@@ -547,6 +549,21 @@ Counters launch(const Kernel& kernel, std::array<std::int64_t, 2> global,
   total.work_groups = static_cast<std::uint64_t>(ngroups);
   total.work_items = total.work_groups *
                      static_cast<std::uint64_t>(local[0] * local[1]);
+  if (trace::enabled()) {
+    // Surface the launch's dynamic counters; each field is a sum, so the
+    // trace totals over any number of launches stay order-independent.
+    trace::counter_add("interp.launches", 1);
+    trace::counter_add("interp.flops", total.flops);
+    trace::counter_add("interp.mads", total.mads);
+    trace::counter_add("interp.global_load_bytes", total.global_load_bytes);
+    trace::counter_add("interp.global_store_bytes",
+                       total.global_store_bytes);
+    trace::counter_add("interp.local_load_bytes", total.local_load_bytes);
+    trace::counter_add("interp.local_store_bytes", total.local_store_bytes);
+    trace::counter_add("interp.barriers", total.barriers);
+    trace::counter_add("interp.work_groups", total.work_groups);
+    trace::counter_add("interp.work_items", total.work_items);
+  }
   return total;
 }
 

@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/intmath.hpp"
 #include "common/strings.hpp"
+#include "trace/trace.hpp"
 
 namespace gemmtune::perfmodel {
 
@@ -321,7 +322,11 @@ Estimate PerfModel::kernel_estimate(const KernelParams& p, std::int64_t Mp,
                          static_cast<long long>(Np),
                          static_cast<long long>(Kp));
   const auto it = cache.find(key);
-  if (it != cache.end()) return it->second;
+  if (it != cache.end()) {
+    trace::counter_add("perfmodel.cache_hit", 1);
+    return it->second;
+  }
+  trace::counter_add("perfmodel.cache_miss", 1);
   const Estimate e = estimate_with_anchor(p, Mp, Np, Kp, alu_anchor(p.prec));
   if (cache.size() >= kEstimateCacheCap) cache.clear();
   cache.emplace(std::move(key), e);

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/intmath.hpp"
 #include "common/thread_pool.hpp"
+#include "trace/trace.hpp"
 
 namespace gemmtune::tuner {
 
@@ -45,11 +46,15 @@ struct SweepResult {
 
 TunedKernel SearchEngine::tune(Precision prec, const SearchOptions& opt,
                                SearchStats* stats) const {
+  trace::Span tune_span("tuner.tune");
   SearchStats st;
   EnumOptions eopt = opt.enumeration;
   if (eopt.threads == 0) eopt.threads = opt.threads;
-  std::vector<KernelParams> candidates =
-      enumerate_candidates(id_, prec, eopt, &st.enumeration);
+  std::vector<KernelParams> candidates;
+  {
+    trace::Span span("tuner.enumerate");
+    candidates = enumerate_candidates(id_, prec, eopt, &st.enumeration);
+  }
   if (opt.seed_with_table2) {
     candidates.push_back(codegen::table2_entry(id_, prec).params);
   }
@@ -74,79 +79,89 @@ TunedKernel SearchEngine::tune(Precision prec, const SearchOptions& opt,
   // Stage 1: single-size measurement of every candidate, fanned out over
   // the pool. Chunks are contiguous and merged in chunk order, so the
   // scored list is in candidate-index order for any thread count.
-  std::vector<std::vector<Scored>> part_scored(workers);
-  std::vector<std::int64_t> part_evaluated(workers, 0), part_failed(workers, 0);
-  pool.parallel_for(
-      static_cast<std::int64_t>(candidates.size()),
-      [&](std::int64_t begin, std::int64_t end, int worker) {
-        auto& scored = part_scored[static_cast<std::size_t>(worker)];
-        for (std::int64_t i = begin; i < end; ++i) {
-          const KernelParams& p = candidates[static_cast<std::size_t>(i)];
-          const std::int64_t n1 = model_.stage1_size(p);
-          const auto e = model_.kernel_estimate(p, n1, n1, n1);
-          ++part_evaluated[static_cast<std::size_t>(worker)];
-          if (!e.ok) {
-            ++part_failed[static_cast<std::size_t>(worker)];
-            continue;
-          }
-          scored.push_back({e.gflops, static_cast<std::size_t>(i)});
-        }
-      });
   std::vector<Scored> scored;
-  for (std::size_t w = 0; w < workers; ++w) {
-    st.stage1_evaluated += part_evaluated[w];
-    st.stage1_failed += part_failed[w];
-    scored.insert(scored.end(), part_scored[w].begin(), part_scored[w].end());
+  std::size_t keep = 0;
+  {
+    trace::Span stage1_span("tuner.stage1");
+    std::vector<std::vector<Scored>> part_scored(workers);
+    std::vector<std::int64_t> part_evaluated(workers, 0),
+        part_failed(workers, 0);
+    pool.parallel_for(
+        static_cast<std::int64_t>(candidates.size()),
+        [&](std::int64_t begin, std::int64_t end, int worker) {
+          auto& scored = part_scored[static_cast<std::size_t>(worker)];
+          for (std::int64_t i = begin; i < end; ++i) {
+            const KernelParams& p = candidates[static_cast<std::size_t>(i)];
+            const std::int64_t n1 = model_.stage1_size(p);
+            const auto e = model_.kernel_estimate(p, n1, n1, n1);
+            ++part_evaluated[static_cast<std::size_t>(worker)];
+            if (!e.ok) {
+              ++part_failed[static_cast<std::size_t>(worker)];
+              continue;
+            }
+            scored.push_back({e.gflops, static_cast<std::size_t>(i)});
+          }
+        });
+    for (std::size_t w = 0; w < workers; ++w) {
+      st.stage1_evaluated += part_evaluated[w];
+      st.stage1_failed += part_failed[w];
+      scored.insert(scored.end(), part_scored[w].begin(),
+                    part_scored[w].end());
+    }
+    check(!scored.empty(), "tune: every candidate failed stage 1");
+    keep = std::min<std::size_t>(static_cast<std::size_t>(opt.stage1_keep),
+                                 scored.size());
+    // Tie-break equal scores by candidate index: partial_sort is not
+    // stable, and the finalist order must not depend on how chunks
+    // interleaved.
+    std::partial_sort(scored.begin(),
+                      scored.begin() + static_cast<std::ptrdiff_t>(keep),
+                      scored.end(), [](const Scored& a, const Scored& b) {
+                        if (a.gflops != b.gflops) return a.gflops > b.gflops;
+                        return a.index < b.index;
+                      });
+    scored.resize(keep);
   }
-  check(!scored.empty(), "tune: every candidate failed stage 1");
-  const std::size_t keep =
-      std::min<std::size_t>(static_cast<std::size_t>(opt.stage1_keep),
-                            scored.size());
-  // Tie-break equal scores by candidate index: partial_sort is not stable,
-  // and the finalist order must not depend on how chunks interleaved.
-  std::partial_sort(scored.begin(),
-                    scored.begin() + static_cast<std::ptrdiff_t>(keep),
-                    scored.end(), [](const Scored& a, const Scored& b) {
-                      if (a.gflops != b.gflops) return a.gflops > b.gflops;
-                      return a.index < b.index;
-                    });
-  scored.resize(keep);
 
   // Stage 2: sweep the finalists over sizes <= stage2_max_n in parallel,
   // then reduce in stage-1 rank order; pick the kernel with the highest
   // performance at any size (ties go to the better stage-1 rank).
-  std::vector<SweepResult> sweeps(keep);
-  pool.parallel_for(static_cast<std::int64_t>(keep),
-                    [&](std::int64_t begin, std::int64_t end, int) {
-                      for (std::int64_t i = begin; i < end; ++i) {
-                        SweepResult& r = sweeps[static_cast<std::size_t>(i)];
-                        r.curve = sweep(
-                            candidates[scored[static_cast<std::size_t>(i)]
-                                           .index],
-                            opt.stage2_max_n);
-                        for (const auto& [n, g] : r.curve) {
-                          if (g > r.peak) {
-                            r.peak = g;
-                            r.peak_n = n;
+  TunedKernel best;
+  {
+    trace::Span stage2_span("tuner.stage2");
+    std::vector<SweepResult> sweeps(keep);
+    pool.parallel_for(static_cast<std::int64_t>(keep),
+                      [&](std::int64_t begin, std::int64_t end, int) {
+                        for (std::int64_t i = begin; i < end; ++i) {
+                          SweepResult& r =
+                              sweeps[static_cast<std::size_t>(i)];
+                          r.curve = sweep(
+                              candidates[scored[static_cast<std::size_t>(i)]
+                                             .index],
+                              opt.stage2_max_n);
+                          for (const auto& [n, g] : r.curve) {
+                            if (g > r.peak) {
+                              r.peak = g;
+                              r.peak_n = n;
+                            }
                           }
                         }
-                      }
-                    });
-  TunedKernel best;
-  for (std::size_t i = 0; i < keep; ++i) {
-    const Scored& s = scored[i];
-    SweepResult& r = sweeps[i];
-    st.stage2_points += static_cast<std::int64_t>(r.curve.size());
-    if (r.curve.empty()) {
-      ++st.stage2_empty;
-      st.stage2_failed.push_back(candidates[s.index].summary());
-    }
-    if (r.peak > best.best_gflops) {
-      best.params = candidates[s.index];
-      best.stage1_gflops = s.gflops;
-      best.best_gflops = r.peak;
-      best.best_n = r.peak_n;
-      best.curve = std::move(r.curve);
+                      });
+    for (std::size_t i = 0; i < keep; ++i) {
+      const Scored& s = scored[i];
+      SweepResult& r = sweeps[i];
+      st.stage2_points += static_cast<std::int64_t>(r.curve.size());
+      if (r.curve.empty()) {
+        ++st.stage2_empty;
+        st.stage2_failed.push_back(candidates[s.index].summary());
+      }
+      if (r.peak > best.best_gflops) {
+        best.params = candidates[s.index];
+        best.stage1_gflops = s.gflops;
+        best.best_gflops = r.peak;
+        best.best_n = r.peak_n;
+        best.curve = std::move(r.curve);
+      }
     }
   }
   if (best.best_gflops <= 0) {
@@ -160,6 +175,20 @@ TunedKernel SearchEngine::tune(Precision prec, const SearchOptions& opt,
     best.best_gflops = top.gflops;
     best.best_n = model_.stage1_size(best.params);
     best.curve = {{best.best_n, top.gflops}};
+  }
+  if (trace::enabled()) {
+    trace::counter_add("tuner.candidates", candidates.size());
+    trace::counter_add("tuner.stage1_evaluated",
+                       static_cast<std::uint64_t>(st.stage1_evaluated));
+    trace::counter_add("tuner.stage1_failed",
+                       static_cast<std::uint64_t>(st.stage1_failed));
+    trace::counter_add("tuner.stage2_points",
+                       static_cast<std::uint64_t>(st.stage2_points));
+    trace::counter_add("tuner.stage2_empty",
+                       static_cast<std::uint64_t>(st.stage2_empty));
+    trace::counter_add("tuner.stage1_fallbacks",
+                       st.used_stage1_fallback ? 1 : 0);
+    trace::gauge_set("tuner.best_gflops", best.best_gflops);
   }
   if (stats) *stats = std::move(st);
   check(best.best_gflops > 0,

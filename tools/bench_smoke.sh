@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Bench regression smoke: run a small, fast, deterministic subset of the
+# reproduction benches, emit their machine-readable result files, and gate
+# them against the checked-in baselines in bench/baselines/ with
+# tools/compare_bench.py. CI runs this as its third job.
+#
+# Usage: tools/bench_smoke.sh [--update]
+#   --update   regenerate bench/baselines/ from the current build instead
+#              of comparing (commit the result)
+#
+# Environment:
+#   BUILD_DIR  build tree with compiled benches (default: build)
+#   OUT_DIR    where to put the fresh results (default: $BUILD_DIR/bench-smoke)
+#   RTOL       relative tolerance for the comparison (default: 1e-4)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT_DIR="${OUT_DIR:-$BUILD_DIR/bench-smoke}"
+RTOL="${RTOL:-1e-4}"
+BASELINES=bench/baselines
+
+# Model-driven benches only: they finish in milliseconds and their numbers
+# are pure functions of the device tables, so the baselines are tight.
+SMOKE="table3_impl_vs_vendor fig9_tahiti fig10_nvidia smallsize_direct"
+
+UPDATE=0
+if [[ "${1:-}" == "--update" ]]; then UPDATE=1; fi
+
+mkdir -p "$OUT_DIR"
+status=0
+for b in $SMOKE; do
+  bin="$BUILD_DIR/bench/bench_$b"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built (build the repo first)" >&2
+    exit 2
+  fi
+  "$bin" --json "$OUT_DIR/$b.json" > "$OUT_DIR/$b.txt"
+  if [[ "$UPDATE" == "1" ]]; then
+    mkdir -p "$BASELINES"
+    cp "$OUT_DIR/$b.json" "$BASELINES/$b.json"
+    echo "[$b] baseline updated"
+  else
+    python3 tools/compare_bench.py "$BASELINES/$b.json" "$OUT_DIR/$b.json" \
+      --rtol "$RTOL" || status=1
+  fi
+done
+
+if [[ "$UPDATE" == "0" && "$status" != "0" ]]; then
+  echo "bench smoke: regressions detected (see above)" >&2
+fi
+exit "$status"

@@ -1,23 +1,58 @@
 #!/usr/bin/env bash
 # CI-style verification: the tier-1 build + full test suite, then a
 # ThreadSanitizer build of the concurrency-sensitive tests (the parallel
-# execution layer and the work-group-parallel interpreter).
+# execution layer, the work-group-parallel interpreter, and the trace
+# collector).
 #
-# Usage: tools/check.sh [jobs]
+# Usage: tools/check.sh [--tier1-only|--tsan-only] [jobs]
+#
+# Environment:
+#   CTEST_PARALLEL_LEVEL  test-run parallelism (default: the jobs value)
+#   WERROR=1              configure with -DGEMMTUNE_WERROR=ON (CI sets this)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-JOBS="${1:-$(nproc)}"
+RUN_TIER1=1
+RUN_TSAN=1
+case "${1:-}" in
+  --tier1-only) RUN_TSAN=0; shift ;;
+  --tsan-only)  RUN_TIER1=0; shift ;;
+esac
 
-echo "== tier-1: build + full test suite =="
-cmake -B build -S . >/dev/null
-cmake --build build -j "$JOBS"
-ctest --test-dir build --output-on-failure -j "$JOBS"
+# Portable core count: nproc is Linux-only.
+detect_jobs() {
+  if command -v nproc >/dev/null 2>&1; then nproc
+  elif getconf _NPROCESSORS_ONLN >/dev/null 2>&1; then
+    getconf _NPROCESSORS_ONLN
+  elif sysctl -n hw.ncpu >/dev/null 2>&1; then
+    sysctl -n hw.ncpu
+  else echo 2
+  fi
+}
 
-echo "== ThreadSanitizer: parallel_test + kernelir_test =="
-cmake -B build-tsan -S . -DGEMMTUNE_TSAN=ON >/dev/null
-cmake --build build-tsan -j "$JOBS" --target parallel_test kernelir_test
-TSAN_OPTIONS="halt_on_error=1" \
-  ctest --test-dir build-tsan --output-on-failure -R '^(parallel_test|kernelir_test)$'
+JOBS="${1:-$(detect_jobs)}"
+TEST_JOBS="${CTEST_PARALLEL_LEVEL:-$JOBS}"
+CMAKE_ARGS=()
+if [[ "${WERROR:-0}" == "1" ]]; then
+  CMAKE_ARGS+=(-DGEMMTUNE_WERROR=ON)
+fi
+
+if [[ "$RUN_TIER1" == "1" ]]; then
+  echo "== tier-1: build + full test suite =="
+  cmake -B build -S . "${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}" >/dev/null
+  cmake --build build -j "$JOBS"
+  ctest --test-dir build --output-on-failure -j "$TEST_JOBS"
+fi
+
+if [[ "$RUN_TSAN" == "1" ]]; then
+  echo "== ThreadSanitizer: parallel_test + kernelir_test + trace_test =="
+  cmake -B build-tsan -S . -DGEMMTUNE_TSAN=ON \
+    "${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}" >/dev/null
+  cmake --build build-tsan -j "$JOBS" \
+    --target parallel_test kernelir_test trace_test
+  TSAN_OPTIONS="halt_on_error=1" \
+    ctest --test-dir build-tsan --output-on-failure \
+    -R '^(parallel_test|kernelir_test|trace_test)$'
+fi
 
 echo "== all checks passed =="

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Compare a bench result JSON against its checked-in baseline.
+
+Both files follow the "gemmtune-bench-v1" schema emitted by bench_util's
+reporter. Only the deterministic sections are compared — "comparisons"
+(matched by section+label), "series" (matched by section+name, point by
+point) and "scalars" (matched by name) — never the "metrics" section,
+whose span durations are wall-clock. Numbers must agree within a relative
+tolerance; missing or extra entries fail too, so a bench that silently
+drops a series trips the gate.
+
+Usage: compare_bench.py BASELINE CURRENT [--rtol X]
+Exit status: 0 when everything matches, 1 on any regression/mismatch.
+"""
+
+import argparse
+import json
+import sys
+
+
+def close(a, b, rtol):
+    if a == b:
+        return True
+    denom = max(abs(a), abs(b))
+    return denom > 0 and abs(a - b) / denom <= rtol
+
+
+def key_cmp(entry):
+    return (entry.get("section", ""), entry.get("label", ""))
+
+
+def key_series(entry):
+    return (entry.get("section", ""), entry.get("name", ""))
+
+
+def index(entries, keyfn):
+    out = {}
+    for e in entries:
+        out[keyfn(e)] = e
+    return out
+
+
+def diff_maps(kind, base, cur, errors):
+    for k in base:
+        if k not in cur:
+            errors.append(f"{kind} {k}: missing from current result")
+    for k in cur:
+        if k not in base:
+            errors.append(f"{kind} {k}: not in baseline (update baselines?)")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--rtol", type=float, default=1e-4,
+                    help="relative tolerance (default 1e-4)")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.current) as f:
+        cur = json.load(f)
+
+    errors = []
+    for doc, which in ((base, args.baseline), (cur, args.current)):
+        if doc.get("schema") != "gemmtune-bench-v1":
+            errors.append(f"{which}: unexpected schema {doc.get('schema')!r}")
+    if errors:
+        print("\n".join(errors))
+        return 1
+
+    bcomp = index(base.get("comparisons", []), key_cmp)
+    ccomp = index(cur.get("comparisons", []), key_cmp)
+    diff_maps("comparison", bcomp, ccomp, errors)
+    for k, b in bcomp.items():
+        c = ccomp.get(k)
+        if c is None:
+            continue
+        for field in ("paper", "measured"):
+            if not close(b[field], c[field], args.rtol):
+                errors.append(
+                    f"comparison {k} {field}: baseline {b[field]:.6g} vs "
+                    f"current {c[field]:.6g}")
+
+    bser = index(base.get("series", []), key_series)
+    cser = index(cur.get("series", []), key_series)
+    diff_maps("series", bser, cser, errors)
+    for k, b in bser.items():
+        c = cser.get(k)
+        if c is None:
+            continue
+        bp, cp = b["points"], c["points"]
+        if [p[0] for p in bp] != [p[0] for p in cp]:
+            errors.append(f"series {k}: size grid changed")
+            continue
+        for (n, bg), (_, cg) in zip(bp, cp):
+            if not close(bg, cg, args.rtol):
+                errors.append(
+                    f"series {k} at N={n}: baseline {bg:.6g} vs "
+                    f"current {cg:.6g}")
+
+    bsc = base.get("scalars", {})
+    csc = cur.get("scalars", {})
+    diff_maps("scalar", bsc, csc, errors)
+    for k, v in bsc.items():
+        if k in csc and not close(v, csc[k], args.rtol):
+            errors.append(
+                f"scalar {k}: baseline {v:.6g} vs current {csc[k]:.6g}")
+
+    name = base.get("bench", "?")
+    if errors:
+        print(f"[{name}] {len(errors)} mismatch(es) vs baseline:")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    n_items = len(bcomp) + len(bser) + len(bsc)
+    print(f"[{name}] OK: {n_items} baseline entries match "
+          f"(rtol {args.rtol:g})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
