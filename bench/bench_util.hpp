@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "common/stats.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "trace/trace.hpp"
@@ -116,26 +117,30 @@ inline void note(const std::string& text) {
   std::printf("%s\n", text.c_str());
 }
 
-/// Records a standalone named value into the result file.
+/// Records a standalone named value into the result file. Non-finite
+/// values are stored as 0: the JSON writer prints doubles verbatim, so an
+/// inf/nan (zero-duration division on a tiny problem) would corrupt the
+/// document.
 inline void scalar(const std::string& name, double value) {
   ReportState& r = report();
-  if (r.initialized) r.scalars[name] = value;
+  if (r.initialized) r.scalars[name] = finite_or(value, 0.0);
 }
 
 /// Prints "label: paper=X measured=Y (ratio R)".
 inline void compare(const std::string& label, double paper,
                     double measured) {
+  const double ratio = finite_or(measured / paper, 0.0);
   std::printf("  %-44s paper=%8s  measured=%8s  ratio=%.2f\n", label.c_str(),
               fmt_gflops(paper).c_str(), fmt_gflops(measured).c_str(),
-              measured / paper);
+              ratio);
   ReportState& r = report();
   if (r.initialized) {
     Json j = Json::object();
     j["section"] = r.section;
     j["label"] = label;
-    j["paper"] = paper;
-    j["measured"] = measured;
-    j["ratio"] = measured / paper;
+    j["paper"] = finite_or(paper, 0.0);
+    j["measured"] = finite_or(measured, 0.0);
+    j["ratio"] = ratio;
     r.comparisons.push_back(std::move(j));
   }
 }

@@ -6,6 +6,7 @@
 #include "codegen/gemm_generator.hpp"
 #include "codegen/paper_kernels.hpp"
 #include "common/error.hpp"
+#include "common/stats.hpp"
 #include "kernelir/interp.hpp"
 #include "layout/packing.hpp"
 #include "trace/trace.hpp"
@@ -48,8 +49,10 @@ GemmProfile GemmEngine::profile_for(const KernelParams& p, index_t M,
   check(e.ok, "GemmEngine: tuned kernel rejected: " + e.reason);
   prof.kernel_seconds = e.seconds;
   prof.total_seconds = prof.copy_seconds + prof.kernel_seconds;
-  prof.gflops = 2.0 * static_cast<double>(M) * static_cast<double>(N) *
-                static_cast<double>(K) / prof.total_seconds / 1e9;
+  prof.gflops = safe_gflops(2.0 * static_cast<double>(M) *
+                                static_cast<double>(N) *
+                                static_cast<double>(K),
+                            prof.total_seconds);
   return prof;
 }
 
@@ -88,8 +91,10 @@ std::optional<GemmProfile> GemmEngine::direct_profile_for(
                         (guarded ? 1.08 : 1.0);
   prof.total_seconds = prof.kernel_seconds;
   prof.used_direct = true;
-  prof.gflops = 2.0 * static_cast<double>(M) * static_cast<double>(N) *
-                static_cast<double>(K) / prof.total_seconds / 1e9;
+  prof.gflops = safe_gflops(2.0 * static_cast<double>(M) *
+                                static_cast<double>(N) *
+                                static_cast<double>(K),
+                            prof.total_seconds);
   return prof;
 }
 

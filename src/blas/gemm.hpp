@@ -31,7 +31,9 @@ struct GemmProfile {
   double total_seconds = 0;
   double copy_seconds = 0;    ///< pack A/B/C + unpack C (the O(N^2) part)
   double kernel_seconds = 0;  ///< the tuned A^T*B kernel
-  double gflops = 0;          ///< 2*M*N*K / total_seconds
+  double gflops = 0;  ///< 2*M*N*K / total_seconds (0 when the simulated
+                      ///< duration is zero/denormal — tiny problems on
+                      ///< fast devices must not report inf)
   /// Maximum absolute error vs. the host reference; only filled by the
   /// functional path when `verify` is requested.
   double max_error = -1;

@@ -1,6 +1,7 @@
 #include "cli/cli.hpp"
 
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
@@ -16,6 +17,8 @@
 #include "common/thread_pool.hpp"
 #include "kernelir/emit.hpp"
 #include "layout/matrix.hpp"
+#include "serve/server.hpp"
+#include "serve/workload.hpp"
 #include "trace/trace.hpp"
 #include "tuner/results_db.hpp"
 #include "vendor/baselines.hpp"
@@ -218,6 +221,112 @@ int cmd_verify(const std::vector<std::string>& args, std::ostream& out) {
   return err <= tol ? 0 : 1;
 }
 
+/// Shared tail of `serve` and `replay`: warm up, run batched + unbatched
+/// baseline, print the summary and optionally write the report file.
+int run_serve(const serve::WorkloadSpec& spec,
+              const std::vector<serve::GemmRequest>& requests,
+              const std::string& cache_path, const std::string& report_path,
+              std::ostream& out) {
+  serve::ServeOptions sopt;
+  sopt.cache_path = cache_path;
+  serve::GemmServer server(spec.resolved_devices(), sopt);
+  const auto info = server.warmup();
+  if (info.cache_ignored)
+    out << "warning: ignoring corrupt warm cache: " << info.cache_error
+        << "\n";
+  out << strf("warmup: %zu kernels ready (%zu from cache, %zu profiled)\n",
+              info.loaded + info.profiled, info.loaded, info.profiled);
+  const auto batched =
+      server.run(requests, spec.max_batch, spec.queue_capacity);
+  const auto unbatched = server.run(requests, 1, spec.queue_capacity);
+  const Json report =
+      serve::build_report(spec, requests, batched, unbatched, sopt);
+  const Json& s = report.at("scalars");
+  out << strf("workload: %d requests, seed %llu, %.4g req/s, %zu devices\n",
+              spec.requests,
+              static_cast<unsigned long long>(spec.seed), spec.rate_rps,
+              spec.resolved_devices().size());
+  out << strf("served: %lld completed, %lld rejected (queue full), "
+              "%lld rejected (deadline)\n",
+              static_cast<long long>(
+                  s.at("requests.completed").as_int()),
+              static_cast<long long>(
+                  s.at("requests.rejected_queue_full").as_int()),
+              static_cast<long long>(
+                  s.at("requests.rejected_deadline").as_int()));
+  out << strf("batches: %lld (avg %.2f, max %lld, %.0f%% direct path)\n",
+              static_cast<long long>(s.at("batches.count").as_int()),
+              s.at("batches.avg_size").as_number(),
+              static_cast<long long>(s.at("batches.max_size").as_int()),
+              s.at("batches.direct_fraction").as_number() * 100);
+  out << strf("latency: p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  "
+              "max %.3f ms\n",
+              s.at("latency_ms.p50").as_number(),
+              s.at("latency_ms.p95").as_number(),
+              s.at("latency_ms.p99").as_number(),
+              s.at("latency_ms.max").as_number());
+  out << strf("throughput: %.1f GFlop/s over %.4f s simulated\n",
+              s.at("throughput.gflops").as_number(),
+              s.at("sim.makespan_seconds").as_number());
+  out << strf("baseline (unbatched): %.1f GFlop/s -> speedup %.2fx\n",
+              s.at("baseline.throughput.gflops").as_number(),
+              s.at("speedup.throughput").as_number());
+  if (!report_path.empty()) {
+    std::ofstream f(report_path, std::ios::trunc);
+    check(f.good(), "serve: cannot write report " + report_path);
+    f << report.dump(2) << "\n";
+    check(f.good(), "serve: write failed for " + report_path);
+    out << "wrote " << report_path << "\n";
+  }
+  return 0;
+}
+
+/// Parses the flag tail shared by `serve` and `replay`. Returns the value
+/// consumed for `flag` at `i` (advancing `i` for the two-token form), or
+/// nullopt when args[i] is a different flag.
+std::optional<std::string> flag_value(const std::vector<std::string>& args,
+                                      std::size_t& i, const char* flag) {
+  const std::string& a = args[i];
+  const std::string eq = std::string(flag) + "=";
+  if (a.rfind(eq, 0) == 0) return a.substr(eq.size());
+  if (a == flag) {
+    check(i + 1 < args.size(), std::string(flag) + " requires a value");
+    return args[++i];
+  }
+  return std::nullopt;
+}
+
+int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
+  std::string spec_text, report_path, cache_path, trace_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (auto v = flag_value(args, i, "--workload")) spec_text = *v;
+    else if (auto v = flag_value(args, i, "--report")) report_path = *v;
+    else if (auto v = flag_value(args, i, "--cache")) cache_path = *v;
+    else if (auto v = flag_value(args, i, "--save-trace")) trace_path = *v;
+    else fail("serve: unknown argument '" + args[i] + "'");
+  }
+  const serve::WorkloadSpec spec = serve::parse_spec(spec_text);
+  const auto requests = serve::generate_workload(spec);
+  if (!trace_path.empty()) {
+    serve::save_workload_file(trace_path, spec, requests);
+    out << "saved workload trace to " << trace_path << "\n";
+  }
+  return run_serve(spec, requests, cache_path, report_path, out);
+}
+
+int cmd_replay(const std::vector<std::string>& args, std::ostream& out) {
+  check(!args.empty() && !args[0].starts_with("--"),
+        "usage: replay <trace.json> [--report FILE] [--cache FILE]");
+  std::string report_path, cache_path;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (auto v = flag_value(args, i, "--report")) report_path = *v;
+    else if (auto v = flag_value(args, i, "--cache")) cache_path = *v;
+    else fail("replay: unknown argument '" + args[i] + "'");
+  }
+  const serve::Workload w = serve::load_workload_file(args[0]);
+  return run_serve(w.spec, w.requests, cache_path, report_path, out);
+}
+
 int usage(std::ostream& out) {
   out << "usage: gemmtune [--threads N] [--trace FILE] [--metrics FILE] "
          "<command> [args]\n"
@@ -235,7 +344,15 @@ int usage(std::ostream& out) {
          "  tune <device> <DGEMM|SGEMM> [budget] [out.json]\n"
          "  estimate <device> <DGEMM|SGEMM> <NN|NT|TN|TT> <n>\n"
          "  sweep <device> <DGEMM|SGEMM> <maxN>\n"
-         "  verify <device> <DGEMM|SGEMM> <M> <N> <K>\n";
+         "  verify <device> <DGEMM|SGEMM> <M> <N> <K>\n"
+         "  serve [--workload SPEC] [--report FILE] [--cache FILE]\n"
+         "        [--save-trace FILE]\n"
+         "                  run the batched GEMM service on a seeded\n"
+         "                  synthetic workload; SPEC is k=v pairs, e.g.\n"
+         "                  requests=1000,seed=42,rate=2000,max_batch=16,\n"
+         "                  queue=512,devices=Tahiti+Kepler\n"
+         "  replay <trace.json> [--report FILE] [--cache FILE]\n"
+         "                  re-run a workload trace saved by serve\n";
   return 2;
 }
 
@@ -324,6 +441,8 @@ int run(const std::vector<std::string>& args, std::ostream& out) {
       return write_observability(cmd_estimate(rest, out));
     if (cmd == "sweep") return write_observability(cmd_sweep(rest, out));
     if (cmd == "verify") return write_observability(cmd_verify(rest, out));
+    if (cmd == "serve") return write_observability(cmd_serve(rest, out));
+    if (cmd == "replay") return write_observability(cmd_replay(rest, out));
     return write_observability(usage(out));
   } catch (const std::exception& e) {
     out << "error: " << e.what() << "\n";

@@ -1,0 +1,51 @@
+// Small numeric helpers shared by the bench reporters and the serving
+// layer.
+//
+// Two recurring needs:
+//  * JSON-safe numbers: the JSON writer prints doubles with %.17g
+//    verbatim, so an inf/nan ratio (zero or denormal denominator from a
+//    tiny problem on a fast simulated device) would corrupt the document.
+//    finite_or() is the single choke point for that.
+//  * Latency summaries: nearest-rank percentiles over a sample, the
+//    convention used by the serve report (p50/p95/p99).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace gemmtune {
+
+/// `v` when finite, `fallback` otherwise (inf, -inf or nan).
+inline double finite_or(double v, double fallback) {
+  return std::isfinite(v) ? v : fallback;
+}
+
+/// GFlop/s for `flops` floating-point operations in `seconds`; 0 when the
+/// duration is zero/denormal or the ratio is not finite.
+inline double safe_gflops(double flops, double seconds) {
+  if (!(seconds > 0.0)) return 0.0;
+  return finite_or(flops / seconds / 1e9, 0.0);
+}
+
+/// Nearest-rank percentile of a sample: the smallest value such that at
+/// least q*100% of the sample is <= it. q is clamped to [0, 1]; an empty
+/// sample yields 0. Deterministic for a deterministic sample.
+inline double percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  q = std::min(1.0, std::max(0.0, q));
+  const std::size_t rank =
+      static_cast<std::size_t>(std::ceil(q * static_cast<double>(xs.size())));
+  return xs[rank > 0 ? rank - 1 : 0];
+}
+
+/// Arithmetic mean; 0 on an empty sample.
+inline double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+}  // namespace gemmtune

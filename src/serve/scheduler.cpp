@@ -1,0 +1,84 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "trace/trace.hpp"
+
+namespace gemmtune::serve {
+
+BatchScheduler::BatchScheduler(int max_batch, int queue_capacity)
+    : max_batch_(max_batch), capacity_(queue_capacity) {
+  check(max_batch_ >= 1, "BatchScheduler: max_batch must be >= 1");
+  check(capacity_ >= 1, "BatchScheduler: queue_capacity must be >= 1");
+}
+
+bool BatchScheduler::admit(const GemmRequest& r) {
+  if (depth_ >= static_cast<std::size_t>(capacity_)) return false;
+  groups_[ShapeClass::of(r)].push_back(r);
+  ++depth_;
+  peak_depth_ = std::max(peak_depth_, depth_);
+  trace::gauge_set("serve.queue_depth", static_cast<double>(depth_));
+  return true;
+}
+
+void BatchScheduler::skim_expired(std::deque<GemmRequest>& q, double clock,
+                                  std::vector<GemmRequest>& expired) {
+  while (!q.empty() && q.front().expired_at(clock)) {
+    expired.push_back(q.front());
+    q.pop_front();
+    --depth_;
+  }
+}
+
+std::vector<BatchScheduler::GroupView> BatchScheduler::group_views(
+    double clock, std::vector<GemmRequest>& expired) {
+  std::vector<GroupView> views;
+  for (auto it = groups_.begin(); it != groups_.end();) {
+    skim_expired(it->second, clock, expired);
+    if (it->second.empty()) {
+      it = groups_.erase(it);
+      continue;
+    }
+    views.push_back({it->first, it->second.front(), it->second.size()});
+    ++it;
+  }
+  trace::gauge_set("serve.queue_depth", static_cast<double>(depth_));
+  // Priority desc, arrival asc, id asc; stable_sort keeps the map's
+  // ShapeClass order as the final tiebreak.
+  std::stable_sort(views.begin(), views.end(),
+                   [](const GroupView& a, const GroupView& b) {
+                     if (a.head.priority != b.head.priority)
+                       return a.head.priority > b.head.priority;
+                     if (a.head.arrival_seconds != b.head.arrival_seconds)
+                       return a.head.arrival_seconds < b.head.arrival_seconds;
+                     return a.head.id < b.head.id;
+                   });
+  return views;
+}
+
+std::optional<PendingBatch> BatchScheduler::pop_from(
+    const ShapeClass& shape, double clock, std::size_t max_take,
+    std::vector<GemmRequest>& expired) {
+  auto it = groups_.find(shape);
+  if (it == groups_.end()) return std::nullopt;
+  auto& q = it->second;
+  const std::size_t limit =
+      std::min(static_cast<std::size_t>(max_batch_),
+               std::max<std::size_t>(max_take, 1));
+  PendingBatch batch{shape, {}};
+  while (!q.empty() && batch.requests.size() < limit) {
+    if (q.front().expired_at(clock))
+      expired.push_back(q.front());
+    else
+      batch.requests.push_back(q.front());
+    q.pop_front();
+    --depth_;
+  }
+  if (q.empty()) groups_.erase(it);
+  trace::gauge_set("serve.queue_depth", static_cast<double>(depth_));
+  if (batch.requests.empty()) return std::nullopt;
+  return batch;
+}
+
+}  // namespace gemmtune::serve

@@ -1,0 +1,146 @@
+// The GEMM serving engine: warm cache, shape-aware scheduling across
+// several simulated devices, and the "gemmtune-serve-v1" report.
+//
+// Lifecycle:
+//  1. warmup() — loads the persistent tuned-kernel cache (if configured),
+//     profiles whatever device x precision entries are missing on the
+//     worker pool, saves the cache back atomically, and builds one
+//     GemmEngine per device. Cold-start tuning therefore never blocks a
+//     request: no traffic is admitted before warmup returns.
+//  2. run() — a deterministic discrete-event simulation of the service.
+//     Per-batch costs come from a shape-class estimate table that is
+//     precomputed in parallel (PerfModel is a pure function, so thread
+//     count cannot change any value in it); the event loop itself is
+//     serial, so the same workload yields the bit-identical outcome at
+//     any --threads / GEMMTUNE_THREADS setting.
+//
+// Batch cost model: one dispatch pays a fixed enqueue overhead (the
+// OpenCL-era kernel-launch cost) plus the per-request time of the batch's
+// shape class on the chosen device — the PerfModel-backed choice between
+// the pack path and the paper Section V copy-free direct path. Coalescing
+// B same-class requests into one dispatch amortizes the overhead B-fold,
+// which is exactly where the batched service beats the one-request-at-a-
+// time baseline.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blas/gemm.hpp"
+#include "common/json.hpp"
+#include "common/thread_pool.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/workload.hpp"
+
+namespace gemmtune::serve {
+
+/// Service configuration beyond what the workload spec carries.
+struct ServeOptions {
+  /// Per-dispatch enqueue overhead (seconds of simulated device time).
+  double dispatch_overhead_seconds = 25e-6;
+  /// Cap on one batch's serial device time: a batch of B requests holds
+  /// its device for B * estimate seconds, so B is limited to
+  /// max_batch_seconds / estimate. Cheap shapes (where the dispatch
+  /// overhead actually matters) batch up to max_batch; an expensive GEMM
+  /// dispatches alone, keeping load balancing as fine-grained as the
+  /// unbatched baseline. <= 0 disables the cap.
+  double max_batch_seconds = 2e-3;
+  /// Stage-2 sweep ceiling for warmup profiling of missing cache entries
+  /// (smaller than the tuner's 8192: serving needs the kernel parameters,
+  /// not the full paper curve).
+  std::int64_t warmup_sweep_n = 2048;
+  /// Worker threads for warmup and estimate precompute. 0 follows the
+  /// process-wide configuration (--threads / GEMMTUNE_THREADS / hardware),
+  /// so the service honors the same concurrency controls as the tuner.
+  int threads = 0;
+  /// Persistent warm-cache path (TunedDatabase JSON). Empty: in-memory
+  /// only. A corrupt cache file is ignored (and rewritten), not fatal.
+  std::string cache_path;
+};
+
+/// What warmup did (surfaced by the CLI).
+struct WarmupInfo {
+  std::size_t loaded = 0;    ///< entries taken from the cache file
+  std::size_t profiled = 0;  ///< entries profiled this run
+  bool cache_ignored = false;  ///< cache file existed but was corrupt
+  std::string cache_error;     ///< why it was ignored
+};
+
+/// One dispatched batch, in simulated time.
+struct BatchRecord {
+  std::int64_t id = 0;
+  int device_index = 0;
+  ShapeClass shape;
+  int size = 0;
+  double start_seconds = 0;
+  double finish_seconds = 0;
+  bool used_direct = false;
+};
+
+/// Per-device aggregates over one run.
+struct DeviceStats {
+  std::int64_t batches = 0;
+  std::int64_t requests = 0;
+  double busy_seconds = 0;
+};
+
+/// Everything one simulated run produced.
+struct ServeOutcome {
+  std::vector<GemmResponse> responses;  ///< parallel to the request vector
+  std::vector<BatchRecord> batches;
+  std::vector<DeviceStats> device_stats;  ///< parallel to the device list
+  std::size_t peak_queue_depth = 0;
+  double makespan_seconds = 0;  ///< first arrival -> last completion
+  double completed_flops = 0;
+};
+
+class GemmServer {
+ public:
+  GemmServer(std::vector<simcl::DeviceId> devices, ServeOptions opt);
+
+  const std::vector<simcl::DeviceId>& devices() const { return devices_; }
+
+  /// Prepares tuned kernels for every device x {DGEMM, SGEMM} before any
+  /// traffic is admitted. Must be called once before run().
+  WarmupInfo warmup();
+
+  /// Serves `requests` (sorted by arrival; ids unique) with batches of up
+  /// to `max_batch` and a bounded queue of `queue_capacity`. Deterministic
+  /// for fixed inputs at any thread count. max_batch == 1 is the
+  /// unbatched one-request-at-a-time baseline.
+  ServeOutcome run(const std::vector<GemmRequest>& requests, int max_batch,
+                   int queue_capacity);
+
+ private:
+  struct PathEstimate {
+    double seconds = 0;       ///< per-request service time
+    bool used_direct = false;
+    double gflops = 0;
+  };
+
+  /// Fills the estimate table for every shape class in `requests` on every
+  /// device (parallel; pure, so thread-count invariant).
+  void ensure_estimates(const std::vector<GemmRequest>& requests);
+
+  std::vector<simcl::DeviceId> devices_;
+  ServeOptions opt_;
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<blas::GemmEngine>> engines_;
+  /// shape class -> per-device estimate (index parallel to devices_).
+  std::map<ShapeClass, std::vector<PathEstimate>> estimates_;
+  bool warmed_ = false;
+};
+
+/// Builds the "gemmtune-serve-v1" report from a batched run and its
+/// unbatched baseline on the same workload. The document is a pure
+/// function of its inputs (no wall clock), so identical runs produce
+/// byte-identical reports; `scalars` follows the bench-report convention
+/// consumed by tools/compare_bench.py.
+Json build_report(const WorkloadSpec& spec,
+                  const std::vector<GemmRequest>& requests,
+                  const ServeOutcome& batched, const ServeOutcome& unbatched,
+                  const ServeOptions& opt);
+
+}  // namespace gemmtune::serve

@@ -1,0 +1,61 @@
+// Synthetic serving workloads: a seeded, fully deterministic request
+// generator plus a JSON trace format so any workload — generated or
+// captured — can be replayed bit-identically ("gemmtune-workload-v1").
+//
+// The generated mixture follows what input-aware GEMM studies observe in
+// real traffic: a heavy tail of small problems (where the paper's
+// copy-free direct kernel wins), a medium band around the paper's
+// evaluation sizes, and a few large problems that dominate the flop
+// count. Arrivals are exponential at `rate_rps`; every draw flows through
+// the library Rng, so a (seed, request-count, rate) triple names one
+// exact workload forever.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "serve/request.hpp"
+
+namespace gemmtune::serve {
+
+/// Parameters naming one synthetic workload plus the scheduler limits a
+/// replay must reuse to be comparable.
+struct WorkloadSpec {
+  std::uint64_t seed = 42;
+  int requests = 1000;
+  double rate_rps = 5000;  ///< mean arrival rate (exponential interarrival)
+  std::vector<simcl::DeviceId> devices;  ///< empty -> evaluation set
+  int max_batch = 16;
+  int queue_capacity = 512;
+
+  /// Devices, defaulting to the paper's evaluation set when unset.
+  std::vector<simcl::DeviceId> resolved_devices() const;
+};
+
+/// Parses a "key=value,key=value" spec string. Keys: requests, seed, rate,
+/// devices (a '+'-separated list of code names), max_batch, queue. An
+/// empty string yields the defaults. Throws on unknown keys or bad values.
+WorkloadSpec parse_spec(const std::string& text);
+
+/// Generates the spec's request stream, sorted by arrival time.
+std::vector<GemmRequest> generate_workload(const WorkloadSpec& spec);
+
+/// Serializes spec + requests as a "gemmtune-workload-v1" document.
+Json workload_json(const WorkloadSpec& spec,
+                   const std::vector<GemmRequest>& requests);
+
+/// Parses a "gemmtune-workload-v1" document (throws on schema mismatch or
+/// malformed entries). Requests come back sorted by (arrival, id).
+struct Workload {
+  WorkloadSpec spec;
+  std::vector<GemmRequest> requests;
+};
+Workload workload_from_json(const Json& doc);
+
+/// File round trip for traces; load reports the offending path on error.
+void save_workload_file(const std::string& path, const WorkloadSpec& spec,
+                        const std::vector<GemmRequest>& requests);
+Workload load_workload_file(const std::string& path);
+
+}  // namespace gemmtune::serve

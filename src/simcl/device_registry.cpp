@@ -249,8 +249,20 @@ const DeviceSpec& device_spec(DeviceId id) {
 }
 
 DeviceId device_by_name(const std::string& code_name) {
+  // Exact match first; then a space-free alias ("SandyBridge"), which
+  // spec strings like serve's "devices=Tahiti+SandyBridge" need because
+  // their separators cannot carry a quoted space.
+  const auto strip = [](const std::string& s) {
+    std::string out;
+    for (char c : s)
+      if (c != ' ') out.push_back(c);
+    return out;
+  };
   for (DeviceId id : all_devices()) {
     if (device_spec(id).code_name == code_name) return id;
+  }
+  for (DeviceId id : all_devices()) {
+    if (strip(device_spec(id).code_name) == strip(code_name)) return id;
   }
   fail("unknown device '" + code_name + "'");
 }

@@ -1,5 +1,6 @@
 #include "tuner/results_db.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -141,10 +142,21 @@ TunedDatabase TunedDatabase::load_json(const std::string& text) {
 }
 
 void TunedDatabase::save_file(const std::string& path) const {
-  std::ofstream f(path);
-  check(f.good(), "save_file: cannot open " + path);
-  f << save_json();
-  check(f.good(), "save_file: write failed for " + path);
+  // Crash-safe: write the full document to a sibling temp file, then
+  // rename it over the destination, so a reader (or a crash mid-write)
+  // never observes a truncated database.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::trunc);
+    check(f.good(), "save_file: cannot open " + tmp);
+    f << save_json();
+    f.flush();
+    check(f.good(), "save_file: write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail("save_file: cannot rename " + tmp + " -> " + path);
+  }
 }
 
 TunedDatabase TunedDatabase::load_file(const std::string& path) {
@@ -152,7 +164,11 @@ TunedDatabase TunedDatabase::load_file(const std::string& path) {
   check(f.good(), "load_file: cannot open " + path);
   std::ostringstream ss;
   ss << f.rdbuf();
-  return load_json(ss.str());
+  try {
+    return load_json(ss.str());
+  } catch (const Error& e) {
+    fail("load_file: corrupt tuning database '" + path + "': " + e.what());
+  }
 }
 
 TunedDatabase TunedDatabase::paper_seeded() {

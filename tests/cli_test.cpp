@@ -103,5 +103,45 @@ TEST(Cli, VerifyPassesAndBoundsSizes) {
   EXPECT_EQ(rc2, 1);
 }
 
+TEST(Cli, ServeThenReplayMatches) {
+  const std::string dir = ::testing::TempDir();
+  const std::string trace = dir + "/cli_serve_trace.json";
+  const std::string report1 = dir + "/cli_serve_r1.json";
+  const std::string report2 = dir + "/cli_serve_r2.json";
+  auto [rc, out] = run_cli({"serve",
+                            "--workload=requests=60,seed=5,devices=Tahiti",
+                            "--save-trace=" + trace,
+                            "--report=" + report1});
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("throughput:"), std::string::npos) << out;
+  auto [rc2, out2] =
+      run_cli({"replay", trace, "--report=" + report2});
+  EXPECT_EQ(rc2, 0) << out2;
+  const auto slurp = [](const std::string& p) {
+    std::ifstream f(p);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+  };
+  const std::string a = slurp(report1), b = slurp(report2);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b) << "replay must reproduce the serve report exactly";
+  EXPECT_NE(a.find("gemmtune-serve-v1"), std::string::npos);
+  std::remove(trace.c_str());
+  std::remove(report1.c_str());
+  std::remove(report2.c_str());
+}
+
+TEST(Cli, ServeRejectsBadArguments) {
+  auto [rc, out] = run_cli({"serve", "--bogus"});
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(out.find("unknown argument"), std::string::npos);
+  auto [rc2, out2] = run_cli({"replay"});
+  EXPECT_EQ(rc2, 1);
+  auto [rc3, out3] = run_cli({"replay", "/nonexistent/trace.json"});
+  EXPECT_EQ(rc3, 1);
+  EXPECT_NE(out3.find("/nonexistent/trace.json"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace gemmtune

@@ -123,9 +123,10 @@ TEST(Indexer, RowsWithinBlocksAreUnitStride) {
     const PackedIndexer idx(l, 8, 12, 4, 4);
     for (std::int64_t r = 0; r < 8; ++r)
       for (std::int64_t c = 0; c + 1 < 12; ++c) {
-        if (c / 4 == (c + 1) / 4)
+        if (c / 4 == (c + 1) / 4) {
           EXPECT_EQ(idx.at(r, c + 1), idx.at(r, c) + 1)
               << to_string(l) << " at " << r << "," << c;
+        }
       }
   }
 }

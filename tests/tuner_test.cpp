@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "codegen/paper_kernels.hpp"
 #include "tuner/results_db.hpp"
@@ -149,6 +152,71 @@ TEST(ResultsDb, FileRoundTrip) {
   EXPECT_TRUE(back.find(DeviceId::Cayman, Precision::DP).has_value());
   std::remove(path.c_str());
   EXPECT_THROW(TunedDatabase::load_file("/nonexistent/x.json"), Error);
+}
+
+TEST(ResultsDb, SaveFileLeavesNoTempBehind) {
+  TunedDatabase db;
+  db.put(DeviceId::Tahiti, Precision::SP,
+         tuner::profile_kernel(
+             DeviceId::Tahiti,
+             codegen::table2_entry(DeviceId::Tahiti, Precision::SP).params,
+             1024));
+  const std::string path = ::testing::TempDir() + "/gemmtune_atomic.json";
+  db.save_file(path);
+  // The write goes through path+".tmp" then rename; after a successful
+  // save only the final file may exist.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  EXPECT_TRUE(
+      TunedDatabase::load_file(path).find(DeviceId::Tahiti, Precision::SP)
+          .has_value());
+  std::remove(path.c_str());
+}
+
+TEST(ResultsDb, LoadFileCorruptJsonNamesThePath) {
+  const std::string path = ::testing::TempDir() + "/gemmtune_corrupt.json";
+  {
+    std::ofstream f(path);
+    f << "{ this is not json";
+  }
+  try {
+    TunedDatabase::load_file(path);
+    FAIL() << "expected Error for corrupt database";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ResultsDb, LoadFileTruncatedDocumentNamesThePath) {
+  TunedDatabase db;
+  db.put(DeviceId::Fermi, Precision::DP,
+         tuner::profile_kernel(
+             DeviceId::Fermi,
+             codegen::table2_entry(DeviceId::Fermi, Precision::DP).params,
+             1024));
+  const std::string path = ::testing::TempDir() + "/gemmtune_trunc.json";
+  db.save_file(path);
+  std::string text;
+  {
+    std::ifstream f(path);
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    text = ss.str();
+  }
+  {
+    std::ofstream f(path, std::ios::trunc);
+    f << text.substr(0, text.size() / 2);  // valid prefix, cut mid-document
+  }
+  try {
+    TunedDatabase::load_file(path);
+    FAIL() << "expected Error for truncated database";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
 }
 
 TEST(ResultsDb, PaperSeededCoversAllDevices) {

@@ -2,10 +2,12 @@
 """Compare a bench result JSON against its checked-in baseline.
 
 Both files follow the "gemmtune-bench-v1" schema emitted by bench_util's
-reporter. Only the deterministic sections are compared — "comparisons"
-(matched by section+label), "series" (matched by section+name, point by
-point) and "scalars" (matched by name) — never the "metrics" section,
-whose span durations are wall-clock. Numbers must agree within a relative
+reporter, or the "gemmtune-serve-v1" schema emitted by `gemmtune serve`
+(which carries only a "scalars" section plus workload metadata). Only the
+deterministic sections are compared — "comparisons" (matched by
+section+label), "series" (matched by section+name, point by point) and
+"scalars" (matched by name) — never the "metrics" section, whose span
+durations are wall-clock. Numbers must agree within a relative
 tolerance; missing or extra entries fail too, so a bench that silently
 drops a series trips the gate.
 
@@ -62,10 +64,15 @@ def main():
     with open(args.current) as f:
         cur = json.load(f)
 
+    known_schemas = {"gemmtune-bench-v1", "gemmtune-serve-v1"}
     errors = []
     for doc, which in ((base, args.baseline), (cur, args.current)):
-        if doc.get("schema") != "gemmtune-bench-v1":
+        if doc.get("schema") not in known_schemas:
             errors.append(f"{which}: unexpected schema {doc.get('schema')!r}")
+    if base.get("schema") != cur.get("schema"):
+        errors.append(
+            f"schema mismatch: baseline {base.get('schema')!r} vs "
+            f"current {cur.get('schema')!r}")
     if errors:
         print("\n".join(errors))
         return 1
@@ -108,7 +115,7 @@ def main():
             errors.append(
                 f"scalar {k}: baseline {v:.6g} vs current {csc[k]:.6g}")
 
-    name = base.get("bench", "?")
+    name = base.get("bench", base.get("schema", "?"))
     if errors:
         print(f"[{name}] {len(errors)} mismatch(es) vs baseline:")
         for e in errors:
