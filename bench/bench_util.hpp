@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "common/json.hpp"
+#include "common/report_version.hpp"
 #include "common/stats.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
@@ -56,7 +57,7 @@ inline void write_report() {
   ReportState& r = report();
   if (!r.initialized) return;
   Json doc = Json::object();
-  doc["schema"] = "gemmtune-bench-v1";
+  doc["schema"] = kBenchReportSchema;
   doc["bench"] = r.name;
   doc["comparisons"] = r.comparisons;
   doc["series"] = r.series_doc;

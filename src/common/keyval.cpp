@@ -1,0 +1,35 @@
+#include "common/keyval.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace gemmtune {
+
+std::vector<KeyValue> parse_keyval_spec(const std::string& text,
+                                        const std::string& context) {
+  std::vector<KeyValue> out;
+  if (text.empty()) return out;
+  std::istringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const auto eq = item.find('=');
+    check(eq != std::string::npos,
+          context + ": expected key=value, got '" + item + "'");
+    check(eq > 0, context + ": empty key in '" + item + "'");
+    out.push_back({item.substr(0, eq), item.substr(eq + 1)});
+  }
+  return out;
+}
+
+void fail_unknown_key(const std::string& context, const std::string& key,
+                      const std::vector<std::string>& allowed) {
+  std::string list;
+  for (const std::string& a : allowed) {
+    if (!list.empty()) list += ", ";
+    list += a;
+  }
+  fail(context + ": unknown key '" + key + "' (use " + list + ")");
+}
+
+}  // namespace gemmtune

@@ -1,0 +1,60 @@
+#include "dist/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gemmtune::dist {
+
+std::vector<std::int64_t> proportional_split(
+    const std::vector<double>& weights, std::int64_t total) {
+  check(!weights.empty(), "proportional_split: no weights");
+  check(total >= 0, "proportional_split: negative total");
+  const std::size_t n = weights.size();
+  std::vector<double> w(n);
+  double sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = (std::isfinite(weights[i]) && weights[i] > 0) ? weights[i] : 0;
+    sum += w[i];
+  }
+  if (sum <= 0) {
+    // Degenerate fleet: no usable weights — split as evenly as possible,
+    // earlier devices taking the extra units.
+    std::vector<std::int64_t> shares(n, total / static_cast<std::int64_t>(n));
+    for (std::int64_t i = 0; i < total % static_cast<std::int64_t>(n); ++i)
+      shares[static_cast<std::size_t>(i)] += 1;
+    return shares;
+  }
+  std::vector<std::int64_t> shares(n);
+  std::vector<std::pair<double, std::size_t>> remainder(n);
+  std::int64_t assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double quota = static_cast<double>(total) * w[i] / sum;
+    shares[i] = static_cast<std::int64_t>(std::floor(quota));
+    assigned += shares[i];
+    remainder[i] = {quota - std::floor(quota), i};
+  }
+  // Hand the leftover units to the largest fractional remainders; ties go
+  // to the lower device index so the split never depends on sort
+  // implementation details.
+  std::sort(remainder.begin(), remainder.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first > b.first
+                                        : a.second < b.second;
+            });
+  for (std::int64_t i = 0; i < total - assigned; ++i)
+    shares[remainder[static_cast<std::size_t>(i)].second] += 1;
+  return shares;
+}
+
+std::vector<std::int64_t> partition_starts(
+    const std::vector<std::int64_t>& shares) {
+  std::vector<std::int64_t> starts(shares.size());
+  std::int64_t at = 0;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    starts[i] = at;
+    at += shares[i];
+  }
+  return starts;
+}
+
+}  // namespace gemmtune::dist

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <fstream>
 #include <limits>
 
 #include "codegen/paper_kernels.hpp"
 #include "common/error.hpp"
+#include "common/report_version.hpp"
 #include "common/stats.hpp"
 #include "trace/trace.hpp"
 
@@ -118,6 +120,22 @@ void GemmServer::ensure_estimates(
   }
 }
 
+double GemmServer::dist_seconds(const GemmRequest& r) {
+  const auto key = std::make_tuple(r.type, r.prec, r.M, r.N, r.K);
+  const auto it = dist_cache_.find(key);
+  if (it != dist_cache_.end()) return it->second;
+  if (!dist_) {
+    std::vector<blas::GemmEngine*> engines;
+    engines.reserve(engines_.size());
+    for (const auto& e : engines_) engines.push_back(e.get());
+    dist_ = std::make_unique<dist::DistExecutor>(
+        std::move(engines), dist::DistOptions{opt_.threads});
+  }
+  const double s = dist_->estimate_seconds(r.type, r.prec, r.M, r.N, r.K);
+  dist_cache_.emplace(key, s);
+  return s;
+}
+
 ServeOutcome GemmServer::run(const std::vector<GemmRequest>& requests,
                              int max_batch, int queue_capacity) {
   check(warmed_, "GemmServer::run: call warmup() first");
@@ -144,11 +162,17 @@ ServeOutcome GemmServer::run(const std::vector<GemmRequest>& requests,
     double start = 0;
     double finish = 0;
     bool used_direct = false;
+    bool distributed = false;
     std::int64_t batch_id = 0;
   };
   constexpr double kInf = std::numeric_limits<double>::infinity();
   std::vector<std::optional<Running>> running(devices_.size());
   BatchScheduler sched(max_batch, queue_capacity);
+  std::deque<GemmRequest> dist_queue;  // oversized requests, FIFO
+  const auto is_distributed = [&](const GemmRequest& r) {
+    return opt_.dist_threshold_n > 0 &&
+           std::max({r.M, r.N, r.K}) >= opt_.dist_threshold_n;
+  };
   std::size_t next_arrival = 0;
   double last_finish = 0;
 
@@ -161,7 +185,7 @@ ServeOutcome GemmServer::run(const std::vector<GemmRequest>& requests,
       resp.finish_seconds = run.finish;
       resp.latency_seconds = run.finish - r.arrival_seconds;
       resp.wait_seconds = run.start - r.arrival_seconds;
-      resp.device_index = d;
+      resp.device_index = run.distributed ? -1 : d;
       resp.batch_id = run.batch_id;
       resp.batch_size = static_cast<int>(run.batch.requests.size());
       resp.used_direct = run.used_direct;
@@ -171,7 +195,9 @@ ServeOutcome GemmServer::run(const std::vector<GemmRequest>& requests,
           static_cast<std::uint64_t>(resp.wait_seconds * 1e6));
     }
     DeviceStats& ds = out.device_stats[static_cast<std::size_t>(d)];
-    ds.batches += 1;
+    // A distributed dispatch occupies every device but is one batch; only
+    // the device carrying the request record counts it.
+    if (!run.batch.requests.empty()) ds.batches += 1;
     ds.requests += static_cast<std::int64_t>(run.batch.requests.size());
     ds.busy_seconds += run.finish - run.start;
     last_finish = std::max(last_finish, run.finish);
@@ -210,8 +236,12 @@ ServeOutcome GemmServer::run(const std::vector<GemmRequest>& requests,
            requests[next_arrival].arrival_seconds <= clock) {
       const GemmRequest& r = requests[next_arrival++];
       trace::counter_add("serve.requests", 1);
-      if (!sched.admit(r))
+      if (is_distributed(r)) {
+        dist_queue.push_back(r);
+        trace::counter_add("serve.distributed_requests", 1);
+      } else if (!sched.admit(r)) {
         reject(r, RequestStatus::RejectedQueueFull, r.arrival_seconds);
+      }
     }
 
     // 3. Dispatch by earliest completion time. For each pending group (in
@@ -227,6 +257,40 @@ ServeOutcome GemmServer::run(const std::vector<GemmRequest>& requests,
       std::size_t idle = 0;
       for (const auto& r : running) idle += r ? 0 : 1;
       if (idle == 0) break;
+      // A pending distributed request is a fleet barrier: no new batch is
+      // fed while it waits, so the devices drain; once every device is
+      // idle the request occupies them all for the modeled tiled-fleet
+      // makespan (src/dist), then normal dispatching resumes.
+      if (!dist_queue.empty()) {
+        if (idle < running.size()) break;
+        const GemmRequest r = dist_queue.front();
+        dist_queue.pop_front();
+        if (r.deadline_seconds < clock) {
+          reject(r, RequestStatus::RejectedDeadline, clock);
+          continue;
+        }
+        trace::Span dist_span("serve.dist_batch");
+        const double secs = dist_seconds(r);
+        const double finish =
+            clock + opt_.dispatch_overhead_seconds + secs;
+        const std::int64_t batch_id =
+            static_cast<std::int64_t>(out.batches.size());
+        for (std::size_t d = 0; d < running.size(); ++d) {
+          Running run;
+          run.batch.shape = ShapeClass::of(r);
+          if (d == 0) run.batch.requests.push_back(r);
+          run.start = clock;
+          run.finish = finish;
+          run.distributed = true;
+          run.batch_id = batch_id;
+          running[d] = std::move(run);
+        }
+        out.batches.push_back({batch_id, -1, ShapeClass::of(r), 1, clock,
+                               finish, false, true});
+        trace::counter_add("serve.batches", 1);
+        trace::counter_add("serve.distributed_batches", 1);
+        continue;  // all devices busy now; loop exits via idle == 0
+      }
       std::vector<GemmRequest> expired;
       const auto views = sched.group_views(clock, expired);
       for (const GemmRequest& r : expired)
@@ -287,6 +351,8 @@ ServeOutcome GemmServer::run(const std::vector<GemmRequest>& requests,
     }
   }
   check(sched.empty(), "GemmServer::run: scheduler drained incompletely");
+  check(dist_queue.empty(),
+        "GemmServer::run: distributed queue drained incompletely");
 
   out.peak_queue_depth = sched.peak_depth();
   const double first_arrival = n > 0 ? requests.front().arrival_seconds : 0;
@@ -315,9 +381,11 @@ void outcome_scalars(Json& scalars, const std::string& prefix,
     }
   }
   std::int64_t direct_batches = 0;
+  std::int64_t dist_batches = 0;
   std::int64_t max_batch_size = 0;
   for (const BatchRecord& b : o.batches) {
     if (b.used_direct) ++direct_batches;
+    if (b.distributed) ++dist_batches;
     max_batch_size = std::max(max_batch_size,
                               static_cast<std::int64_t>(b.size));
   }
@@ -333,6 +401,7 @@ void outcome_scalars(Json& scalars, const std::string& prefix,
           static_cast<double>(o.batches.size()),
       0.0);
   scalars[prefix + "batches.max_size"] = max_batch_size;
+  scalars[prefix + "batches.distributed"] = dist_batches;
   scalars[prefix + "batches.direct_fraction"] = finite_or(
       static_cast<double>(direct_batches) /
           static_cast<double>(o.batches.size()),
@@ -359,7 +428,7 @@ Json build_report(const WorkloadSpec& spec,
                   const ServeOutcome& batched, const ServeOutcome& unbatched,
                   const ServeOptions& opt) {
   Json doc = Json::object();
-  doc["schema"] = "gemmtune-serve-v1";
+  doc["schema"] = kServeReportSchema;
   // The workload block mirrors the trace's spec object, so a report from
   // `serve` and one from `replay` of the saved trace are byte-identical.
   Json wl = Json::object();
@@ -378,6 +447,7 @@ Json build_report(const WorkloadSpec& spec,
   options["dispatch_overhead_us"] = opt.dispatch_overhead_seconds * 1e6;
   options["max_batch_ms"] = opt.max_batch_seconds * 1e3;
   options["warmup_sweep_n"] = opt.warmup_sweep_n;
+  options["dist_threshold_n"] = opt.dist_threshold_n;
   doc["options"] = std::move(options);
 
   Json scalars = Json::object();

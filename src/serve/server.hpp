@@ -26,11 +26,13 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "blas/gemm.hpp"
 #include "common/json.hpp"
 #include "common/thread_pool.hpp"
+#include "dist/executor.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/workload.hpp"
 
@@ -58,6 +60,15 @@ struct ServeOptions {
   /// Persistent warm-cache path (TunedDatabase JSON). Empty: in-memory
   /// only. A corrupt cache file is ignored (and rewritten), not fatal.
   std::string cache_path;
+  /// Problem-size threshold for the distributed path: a request whose
+  /// largest extent reaches this value bypasses batching and runs as a
+  /// tile-partitioned GEMM across the whole fleet (src/dist). Such a
+  /// request acts as a fleet barrier — no new batch is fed while it
+  /// waits, so the devices drain and then all execute it together.
+  /// <= 0 disables distributed dispatch. The default sits above the
+  /// generated workload's largest shape (2048), so distribution only
+  /// triggers for explicitly oversized requests.
+  index_t dist_threshold_n = 4096;
 };
 
 /// What warmup did (surfaced by the CLI).
@@ -71,12 +82,13 @@ struct WarmupInfo {
 /// One dispatched batch, in simulated time.
 struct BatchRecord {
   std::int64_t id = 0;
-  int device_index = 0;
+  int device_index = 0;  ///< -1 for a distributed (whole-fleet) dispatch
   ShapeClass shape;
   int size = 0;
   double start_seconds = 0;
   double finish_seconds = 0;
   bool used_direct = false;
+  bool distributed = false;  ///< ran tiled across every device (src/dist)
 };
 
 /// Per-device aggregates over one run.
@@ -124,12 +136,21 @@ class GemmServer {
   /// device (parallel; pure, so thread-count invariant).
   void ensure_estimates(const std::vector<GemmRequest>& requests);
 
+  /// Modeled fleet makespan of one distributed request (memoized; builds
+  /// the executor over the warmed engines on first use).
+  double dist_seconds(const GemmRequest& r);
+
   std::vector<simcl::DeviceId> devices_;
   ServeOptions opt_;
   ThreadPool pool_;
   std::vector<std::unique_ptr<blas::GemmEngine>> engines_;
   /// shape class -> per-device estimate (index parallel to devices_).
   std::map<ShapeClass, std::vector<PathEstimate>> estimates_;
+  std::unique_ptr<dist::DistExecutor> dist_;
+  std::map<std::tuple<GemmType, codegen::Precision, index_t, index_t,
+                      index_t>,
+           double>
+      dist_cache_;
   bool warmed_ = false;
 };
 

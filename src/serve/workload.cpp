@@ -7,6 +7,8 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/keyval.hpp"
+#include "common/report_version.hpp"
 #include "common/rng.hpp"
 
 namespace gemmtune::serve {
@@ -97,15 +99,7 @@ std::vector<simcl::DeviceId> WorkloadSpec::resolved_devices() const {
 
 WorkloadSpec parse_spec(const std::string& text) {
   WorkloadSpec spec;
-  if (text.empty()) return spec;
-  std::istringstream ss(text);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    const auto eq = item.find('=');
-    check(eq != std::string::npos,
-          "workload spec: expected key=value, got '" + item + "'");
-    const std::string key = item.substr(0, eq);
-    const std::string value = item.substr(eq + 1);
+  for (const auto& [key, value] : parse_keyval_spec(text, "workload spec")) {
     if (key == "requests") {
       spec.requests = static_cast<int>(parse_int(key, value));
       check(spec.requests > 0, "workload spec: requests must be > 0");
@@ -128,8 +122,9 @@ WorkloadSpec parse_spec(const std::string& text) {
         spec.devices.push_back(simcl::device_by_name(name));
       check(!spec.devices.empty(), "workload spec: devices list is empty");
     } else {
-      fail("workload spec: unknown key '" + key +
-           "' (use requests, seed, rate, devices, max_batch, queue)");
+      fail_unknown_key("workload spec", key,
+                       {"requests", "seed", "rate", "devices", "max_batch",
+                        "queue"});
     }
   }
   return spec;
@@ -186,7 +181,7 @@ std::vector<GemmRequest> generate_workload(const WorkloadSpec& spec) {
 Json workload_json(const WorkloadSpec& spec,
                    const std::vector<GemmRequest>& requests) {
   Json doc = Json::object();
-  doc["schema"] = "gemmtune-workload-v1";
+  doc["schema"] = kWorkloadSchema;
   Json sp = Json::object();
   sp["seed"] = static_cast<std::int64_t>(spec.seed);
   sp["requests"] = spec.requests;
@@ -218,8 +213,8 @@ Json workload_json(const WorkloadSpec& spec,
 
 Workload workload_from_json(const Json& doc) {
   check(doc.contains("schema") &&
-            doc.at("schema").as_string() == "gemmtune-workload-v1",
-        "workload: not a gemmtune-workload-v1 document");
+            doc.at("schema").as_string() == kWorkloadSchema,
+        "workload: not a " + std::string(kWorkloadSchema) + " document");
   Workload w;
   const Json& sp = doc.at("spec");
   w.spec.seed = static_cast<std::uint64_t>(sp.at("seed").as_int());

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/report_version.hpp"
 
 namespace gemmtune::trace {
 
@@ -155,7 +156,7 @@ Json metrics_json() {
   }
 
   Json doc = Json::object();
-  doc["schema"] = "gemmtune-metrics-v1";
+  doc["schema"] = kMetricsSchema;
   Json jspans = Json::object();
   for (const auto& [name, s] : spans) {
     Json j = Json::object();

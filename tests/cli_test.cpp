@@ -34,6 +34,9 @@ TEST(Cli, Devices) {
   EXPECT_NE(out.find("Tahiti"), std::string::npos);
   EXPECT_NE(out.find("Bulldozer"), std::string::npos);
   EXPECT_NE(out.find("Cypress"), std::string::npos);
+  // The host-transfer model columns are part of the table.
+  EXPECT_NE(out.find("Host GB/s"), std::string::npos);
+  EXPECT_NE(out.find("Xfer us"), std::string::npos);
 }
 
 TEST(Cli, EmitProducesOpenCl) {
@@ -130,6 +133,31 @@ TEST(Cli, ServeThenReplayMatches) {
   std::remove(trace.c_str());
   std::remove(report1.c_str());
   std::remove(report2.c_str());
+}
+
+TEST(Cli, DistRunsAndWritesTheReport) {
+  const std::string report = ::testing::TempDir() + "/cli_dist_report.json";
+  auto [rc, out] = run_cli(
+      {"dist", "--spec=size=4096,prec=SGEMM,devices=Tahiti+Cayman",
+       "--report=" + report});
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("problem: SGEMM NN 4096x4096x4096"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("fleet:"), std::string::npos);
+  EXPECT_NE(out.find("best single device:"), std::string::npos);
+  std::ifstream f(report);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  const std::string doc = ss.str();
+  EXPECT_FALSE(doc.empty());
+  EXPECT_NE(doc.find("gemmtune-dist-v1"), std::string::npos);
+  std::remove(report.c_str());
+}
+
+TEST(Cli, DistRejectsBadSpec) {
+  auto [rc, out] = run_cli({"dist", "--spec=siez=4096"});
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(out.find("unknown key 'siez'"), std::string::npos) << out;
 }
 
 TEST(Cli, ServeRejectsBadArguments) {

@@ -152,6 +152,20 @@ TEST(WorkloadTest, SpecParserRoundTrip) {
   EXPECT_THROW(serve::parse_spec("requests=-5"), Error);
 }
 
+TEST(WorkloadTest, SpecParserNamesUnknownKeys) {
+  // A typo must fail loudly, naming the offending key and the accepted
+  // ones — never silently run with the default it shadowed.
+  try {
+    serve::parse_spec("requets=10000");
+    FAIL() << "expected an error for the unknown key";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown key 'requets'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("requests"), std::string::npos)
+        << "error should list the accepted keys: " << msg;
+  }
+}
+
 TEST(SchedulerTest, BackpressureAtCapacity) {
   BatchScheduler sched(16, 4);
   int admitted = 0;
@@ -258,6 +272,58 @@ TEST_F(ServeSim, QueueFullRejectsOnArrival) {
   EXPECT_EQ(completed, 4);
   EXPECT_EQ(queue_full, 26);
   EXPECT_EQ(out.peak_queue_depth, 4u);
+}
+
+TEST(DistRoutingTest, OversizedRequestRunsOnTheWholeFleet) {
+  GemmServer server({DeviceId::Tahiti, DeviceId::SandyBridge},
+                    ServeOptions{});
+  server.warmup();
+  std::vector<GemmRequest> reqs;
+  reqs.push_back(small_request(0, 0.0, /*deadline=*/1e9));
+  GemmRequest big;
+  big.id = 1;
+  big.type = GemmType::NN;
+  big.prec = Precision::SP;
+  big.M = big.N = big.K = 4096;  // at the default dist_threshold_n
+  big.arrival_seconds = 1e-3;
+  big.deadline_seconds = 1e9;
+  reqs.push_back(big);
+  const ServeOutcome out = server.run(reqs, 16, 64);
+  // The small request batches normally on one device.
+  EXPECT_EQ(out.responses[0].status, RequestStatus::Completed);
+  EXPECT_GE(out.responses[0].device_index, 0);
+  // The oversized one completes on the whole fleet (device -1).
+  EXPECT_EQ(out.responses[1].status, RequestStatus::Completed);
+  EXPECT_EQ(out.responses[1].device_index, -1);
+  int dist_batches = 0;
+  for (const auto& b : out.batches)
+    if (b.distributed) {
+      ++dist_batches;
+      EXPECT_EQ(b.device_index, -1);
+      EXPECT_EQ(b.size, 1);
+    }
+  EXPECT_EQ(dist_batches, 1);
+  // Every device was busy for the distributed window.
+  for (const auto& ds : out.device_stats)
+    EXPECT_GT(ds.busy_seconds, 0.0);
+}
+
+TEST(DistRoutingTest, ThresholdZeroDisablesTheDistributedPath) {
+  ServeOptions sopt;
+  sopt.dist_threshold_n = 0;
+  GemmServer server({DeviceId::Tahiti}, sopt);
+  server.warmup();
+  GemmRequest big;
+  big.id = 0;
+  big.type = GemmType::NN;
+  big.prec = Precision::SP;
+  big.M = big.N = big.K = 4096;
+  big.arrival_seconds = 0;
+  big.deadline_seconds = 1e9;
+  const ServeOutcome out = server.run({big}, 4, 16);
+  EXPECT_EQ(out.responses[0].status, RequestStatus::Completed);
+  EXPECT_EQ(out.responses[0].device_index, 0);
+  for (const auto& b : out.batches) EXPECT_FALSE(b.distributed);
 }
 
 TEST(ServeReportTest, IdenticalAcrossThreadCountsAndRuns) {

@@ -2,8 +2,9 @@
 """Compare a bench result JSON against its checked-in baseline.
 
 Both files follow the "gemmtune-bench-v1" schema emitted by bench_util's
-reporter, or the "gemmtune-serve-v1" schema emitted by `gemmtune serve`
-(which carries only a "scalars" section plus workload metadata). Only the
+reporter, the "gemmtune-serve-v1" schema emitted by `gemmtune serve`
+(which carries only a "scalars" section plus workload metadata), or the
+"gemmtune-dist-v1" schema emitted by `gemmtune dist`. Only the
 deterministic sections are compared — "comparisons" (matched by
 section+label), "series" (matched by section+name, point by point) and
 "scalars" (matched by name) — never the "metrics" section, whose span
@@ -64,7 +65,8 @@ def main():
     with open(args.current) as f:
         cur = json.load(f)
 
-    known_schemas = {"gemmtune-bench-v1", "gemmtune-serve-v1"}
+    known_schemas = {"gemmtune-bench-v1", "gemmtune-serve-v1",
+                     "gemmtune-dist-v1"}
     errors = []
     for doc, which in ((base, args.baseline), (cur, args.current)):
         if doc.get("schema") not in known_schemas:
