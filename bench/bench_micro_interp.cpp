@@ -1,12 +1,24 @@
-// Micro-benchmarks (google-benchmark): lockstep interpreter throughput on
-// generated GEMM kernels, and performance-model / search-engine evaluation
-// rates (the quantities that bound a full tuning run's wall-clock).
+// Micro-benchmarks (google-benchmark): interpreter throughput on generated
+// GEMM kernels for both backends (bytecode VM vs the tree-walking
+// reference), and performance-model / search-engine evaluation rates (the
+// quantities that bound a full tuning run's wall-clock).
+//
+// Besides the timed runs, main() performs a deterministic differential
+// check: both backends must produce bit-identical buffers and counters (at
+// several thread counts), and the bytecode backend must be at least 3x
+// faster single-threaded. The pass/fail bits and the dynamic counters are
+// recorded as scalars (gated against bench/baselines/micro_interp.json);
+// wall-clock numbers go to gauges, which the baseline gate never compares.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
 
 #include "bench_util.hpp"
 
 #include "codegen/gemm_generator.hpp"
 #include "codegen/paper_kernels.hpp"
+#include "common/rng.hpp"
 #include "kernelir/interp.hpp"
 #include "perfmodel/model.hpp"
 #include "simcl/runtime.hpp"
@@ -16,7 +28,7 @@ using codegen::Precision;
 
 namespace {
 
-void BM_InterpretGemmKernel(benchmark::State& state) {
+codegen::KernelParams micro_params() {
   codegen::KernelParams p;
   p.prec = Precision::DP;
   p.Mwg = 16;
@@ -27,35 +39,67 @@ void BM_InterpretGemmKernel(benchmark::State& state) {
   p.Kwi = 2;
   p.vw = 2;
   p.share_a = p.share_b = true;
-  const std::int64_t n = state.range(0);
-  const int es = element_bytes(p.prec);
-  auto dA = std::make_shared<simcl::Buffer>(
-      static_cast<std::size_t>(n * n * es));
-  auto dB = std::make_shared<simcl::Buffer>(
-      static_cast<std::size_t>(n * n * es));
-  auto dC = std::make_shared<simcl::Buffer>(
-      static_cast<std::size_t>(n * n * es));
-  ir::Kernel k = codegen::generate_gemm_kernel(p);
-  const auto geo = codegen::launch_geometry(p, n, n);
-  std::vector<ir::ArgValue> args(8);
-  args[codegen::GemmKernelArgs::C] = ir::ArgValue::of(dC);
-  args[codegen::GemmKernelArgs::A] = ir::ArgValue::of(dA);
-  args[codegen::GemmKernelArgs::B] = ir::ArgValue::of(dB);
-  args[codegen::GemmKernelArgs::M] = ir::ArgValue::of_int(n);
-  args[codegen::GemmKernelArgs::N] = ir::ArgValue::of_int(n);
-  args[codegen::GemmKernelArgs::K] = ir::ArgValue::of_int(n);
-  args[codegen::GemmKernelArgs::alpha] = ir::ArgValue::of_float(1.0);
-  args[codegen::GemmKernelArgs::beta] = ir::ArgValue::of_float(0.0);
+  return p;
+}
+
+/// One prepared launch: kernel, geometry, and freshly-filled buffers.
+struct MicroLaunch {
+  ir::Kernel kernel;
+  codegen::LaunchGeometry geo;
+  simcl::BufferPtr dA, dB, dC;
+  std::vector<ir::ArgValue> args;
+
+  explicit MicroLaunch(std::int64_t n) {
+    const codegen::KernelParams p = micro_params();
+    const int es = element_bytes(p.prec);
+    const auto bytes = static_cast<std::size_t>(n * n * es);
+    dA = std::make_shared<simcl::Buffer>(bytes);
+    dB = std::make_shared<simcl::Buffer>(bytes);
+    dC = std::make_shared<simcl::Buffer>(bytes);
+    Rng rng(7);
+    for (std::int64_t i = 0; i < n * n; ++i) {
+      dA->as<double>()[i] = rng.next_double(-1.0, 1.0);
+      dB->as<double>()[i] = rng.next_double(-1.0, 1.0);
+    }
+    kernel = codegen::generate_gemm_kernel(p);
+    geo = codegen::launch_geometry(p, n, n);
+    args.resize(8);
+    args[codegen::GemmKernelArgs::C] = ir::ArgValue::of(dC);
+    args[codegen::GemmKernelArgs::A] = ir::ArgValue::of(dA);
+    args[codegen::GemmKernelArgs::B] = ir::ArgValue::of(dB);
+    args[codegen::GemmKernelArgs::M] = ir::ArgValue::of_int(n);
+    args[codegen::GemmKernelArgs::N] = ir::ArgValue::of_int(n);
+    args[codegen::GemmKernelArgs::K] = ir::ArgValue::of_int(n);
+    args[codegen::GemmKernelArgs::alpha] = ir::ArgValue::of_float(1.5);
+    args[codegen::GemmKernelArgs::beta] = ir::ArgValue::of_float(0.0);
+  }
+
+  ir::Counters run(ir::Backend backend, int threads) const {
+    return ir::launch_with_backend(kernel, geo.global, geo.local, args,
+                                   threads, backend);
+  }
+};
+
+void BM_InterpretGemmKernel(benchmark::State& state, ir::Backend backend) {
+  const MicroLaunch ml(state.range(0));
   std::uint64_t mads = 0;
   for (auto _ : state) {
-    const auto c = ir::launch(k, geo.global, geo.local, args);
+    const auto c = ml.run(backend, 1);
     mads += c.mads;
   }
   state.counters["interp_mads/s"] = benchmark::Counter(
       static_cast<double>(mads), benchmark::Counter::kIsRate);
 }
 
-BENCHMARK(BM_InterpretGemmKernel)->Arg(32)->Arg(64);
+void BM_InterpTree(benchmark::State& s) {
+  BM_InterpretGemmKernel(s, ir::Backend::Tree);
+}
+void BM_InterpBytecode(benchmark::State& s) {
+  BM_InterpretGemmKernel(s, ir::Backend::Bytecode);
+}
+
+BENCHMARK(BM_InterpTree)->Arg(32)->Arg(64);
+BENCHMARK(BM_InterpBytecode)->Arg(32)->Arg(64);
 
 void BM_GenerateKernel(benchmark::State& state) {
   const auto p =
@@ -80,10 +124,67 @@ void BM_PerfModelEstimate(benchmark::State& state) {
 
 BENCHMARK(BM_PerfModelEstimate);
 
+// ---- deterministic differential + speedup gate -----------------------------
+
+double min_seconds(int reps, const MicroLaunch& ml, ir::Backend backend) {
+  using Clock = std::chrono::steady_clock;
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    const auto t0 = Clock::now();
+    (void)ml.run(backend, 1);
+    const double s = std::chrono::duration<double>(Clock::now() - t0).count();
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+void differential_check() {
+  bench::section("Backend differential (tree vs bytecode, Table II shape)");
+  const std::int64_t n = 64;
+  const MicroLaunch tree_ml(n);
+  const MicroLaunch byte_ml(n);
+  const MicroLaunch byte4_ml(n);
+  const ir::Counters ct = tree_ml.run(ir::Backend::Tree, 1);
+  const ir::Counters cb = byte_ml.run(ir::Backend::Bytecode, 1);
+  const ir::Counters cb4 = byte4_ml.run(ir::Backend::Bytecode, 4);
+  const bool buffers_equal =
+      std::memcmp(tree_ml.dC->data(), byte_ml.dC->data(),
+                  tree_ml.dC->size()) == 0 &&
+      std::memcmp(byte_ml.dC->data(), byte4_ml.dC->data(),
+                  byte_ml.dC->size()) == 0;
+  const bool counters_equal = ct == cb && cb == cb4;
+  bench::scalar("interp.buffers_equal", buffers_equal ? 1 : 0);
+  bench::scalar("interp.counters_equal", counters_equal ? 1 : 0);
+  bench::scalar("interp.flops", static_cast<double>(cb.flops));
+  bench::scalar("interp.mads", static_cast<double>(cb.mads));
+  bench::scalar("interp.global_load_bytes",
+                static_cast<double>(cb.global_load_bytes));
+  bench::scalar("interp.global_store_bytes",
+                static_cast<double>(cb.global_store_bytes));
+  bench::scalar("interp.local_load_bytes",
+                static_cast<double>(cb.local_load_bytes));
+  bench::scalar("interp.local_store_bytes",
+                static_cast<double>(cb.local_store_bytes));
+  bench::scalar("interp.barriers", static_cast<double>(cb.barriers));
+
+  // Single-thread speedup on the warmed compiled-program cache; the >= 3x
+  // bit is the gated acceptance criterion, the raw ratio is a gauge.
+  const double t_tree = min_seconds(3, tree_ml, ir::Backend::Tree);
+  const double t_byte = min_seconds(5, byte_ml, ir::Backend::Bytecode);
+  const double speedup = t_tree / t_byte;
+  trace::gauge_set("micro_interp.speedup_tree_over_bytecode", speedup);
+  bench::scalar("interp.speedup_ge3x", speedup >= 3.0 ? 1 : 0);
+  bench::note(strf("buffers_equal=%d counters_equal=%d speedup=%.1fx "
+                   "(tree %.2f ms, bytecode %.2f ms, single thread)",
+                   buffers_equal ? 1 : 0, counters_equal ? 1 : 0, speedup,
+                   1e3 * t_tree, 1e3 * t_byte));
+}
+
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN(): records each benchmark's
-// per-iteration real time into the common-schema result file.
+// per-iteration real time as a gauge (wall-clock lives in the "metrics"
+// section, outside the baseline gate) and runs the differential check.
 namespace {
 
 class CaptureReporter : public benchmark::ConsoleReporter {
@@ -91,8 +192,9 @@ class CaptureReporter : public benchmark::ConsoleReporter {
   void ReportRuns(const std::vector<Run>& runs) override {
     for (const Run& r : runs) {
       if (r.error_occurred) continue;
-      gemmtune::bench::scalar(r.benchmark_name() + ".real_time_ns",
-                              r.GetAdjustedRealTime());
+      gemmtune::trace::gauge_set(
+          (r.benchmark_name() + ".real_time_ns").c_str(),
+          r.GetAdjustedRealTime());
     }
     ConsoleReporter::ReportRuns(runs);
   }
@@ -107,5 +209,6 @@ int main(int argc, char** argv) {
   CaptureReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  differential_check();
   return 0;
 }

@@ -1,11 +1,19 @@
 // Micro-benchmarks (google-benchmark): host packing throughput across the
 // three operand layouts, and the reference GEMM tiers.
+//
+// main() also runs a deterministic packing check: every layout's packed
+// buffer must match the PackedIndexer ground truth element by element and
+// must be byte-identical whether packed with 1 or 4 threads (the packing
+// loops are tiled and parallel). The pass/fail bits and exact element sums
+// are recorded as scalars gated against bench/baselines/micro_layout.json;
+// wall-clock numbers go to gauges, which the gate never compares.
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hpp"
 
 #include "blas/hostblas.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "layout/packing.hpp"
 
 using namespace gemmtune;
@@ -66,10 +74,52 @@ BENCHMARK(BM_HostGemmNaive)->Arg(128);
 BENCHMARK(BM_HostGemmBlocked)->Arg(128)->Arg(256);
 BENCHMARK(BM_HostGemmParallel)->Arg(256);
 
+// ---- deterministic packing correctness / thread-invariance gate ------------
+
+void packing_check() {
+  bench::section("Packing determinism (all layouts, 1 vs 4 threads)");
+  const index_t M = 200, K = 150;  // deliberately not blocking multiples
+  Rng rng(11);
+  // Transpose::Yes, so the stored matrix is K x M and the pack reads it
+  // transposed: buffer element (k, m) = A.at(k, m).
+  Matrix<double> A(K, M, StorageOrder::RowMajor);
+  A.fill_random(rng);
+  const auto e = packed_extents(M, 8, K, 32, 8, 16);
+  bool identical = true, correct = true;
+  for (const BlockLayout layout :
+       {BlockLayout::RowMajor, BlockLayout::CBL, BlockLayout::RBL}) {
+    set_thread_override(1);
+    const auto one =
+        pack_a(A, Transpose::Yes, M, K, e.Mp, e.Kp, layout, 32, 16);
+    set_thread_override(4);
+    const auto four =
+        pack_a(A, Transpose::Yes, M, K, e.Mp, e.Kp, layout, 32, 16);
+    identical = identical && one == four;
+    // Ground truth: the (checked, per-element) PackedIndexer.
+    const PackedIndexer idx(layout, e.Kp, e.Mp, 16, 32);
+    double sum = 0;
+    for (index_t m = 0; m < M && correct; ++m)
+      for (index_t k = 0; k < K; ++k) {
+        if (packed_at(one, idx, k, m) != A.at(k, m)) {
+          correct = false;
+          break;
+        }
+      }
+    for (const double v : one) sum += v;
+    bench::scalar(std::string("pack_a.sum.") + to_string(layout), sum);
+  }
+  set_thread_override(1);
+  bench::scalar("pack_a.thread_invariant", identical ? 1 : 0);
+  bench::scalar("pack_a.matches_indexer", correct ? 1 : 0);
+  bench::note(strf("thread_invariant=%d matches_indexer=%d", identical ? 1 : 0,
+                   correct ? 1 : 0));
+}
+
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN(): records each benchmark's
-// per-iteration real time into the common-schema result file.
+// per-iteration real time as a gauge (wall-clock lives in the "metrics"
+// section, outside the baseline gate) and runs the packing check.
 namespace {
 
 class CaptureReporter : public benchmark::ConsoleReporter {
@@ -77,8 +127,9 @@ class CaptureReporter : public benchmark::ConsoleReporter {
   void ReportRuns(const std::vector<Run>& runs) override {
     for (const Run& r : runs) {
       if (r.error_occurred) continue;
-      gemmtune::bench::scalar(r.benchmark_name() + ".real_time_ns",
-                              r.GetAdjustedRealTime());
+      gemmtune::trace::gauge_set(
+          (r.benchmark_name() + ".real_time_ns").c_str(),
+          r.GetAdjustedRealTime());
     }
     ConsoleReporter::ReportRuns(runs);
   }
@@ -93,5 +144,6 @@ int main(int argc, char** argv) {
   CaptureReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  packing_check();
   return 0;
 }

@@ -17,6 +17,7 @@
 #include "common/thread_pool.hpp"
 #include "dist/executor.hpp"
 #include "kernelir/emit.hpp"
+#include "kernelir/interp.hpp"
 #include "layout/matrix.hpp"
 #include "serve/server.hpp"
 #include "serve/workload.hpp"
@@ -382,12 +383,14 @@ int cmd_dist(const std::vector<std::string>& args, std::ostream& out) {
 }
 
 int usage(std::ostream& out) {
-  out << "usage: gemmtune [--threads N] [--trace FILE] [--metrics FILE] "
-         "<command> [args]\n"
+  out << "usage: gemmtune [--threads N] [--interp B] [--trace FILE] "
+         "[--metrics FILE] <command> [args]\n"
          "options:\n"
          "  --threads N     worker threads for tuning and kernel\n"
          "                  interpretation (default: GEMMTUNE_THREADS if\n"
          "                  set, else all hardware threads)\n"
+         "  --interp B      kernel interpreter backend: bytecode (default)\n"
+         "                  or tree (reference; also GEMMTUNE_INTERP)\n"
          "  --trace FILE    write a Chrome trace-event JSON timeline\n"
          "  --metrics FILE  write aggregated metrics JSON (span durations,\n"
          "                  counters, gauges, cache hit rates)\n"
@@ -435,6 +438,16 @@ int parse_thread_count(const std::string& value) {
   return n;
 }
 
+void set_interp_backend(const std::string& value) {
+  if (value == "tree") {
+    ir::set_backend_override(ir::Backend::Tree);
+  } else if (value == "bytecode") {
+    ir::set_backend_override(ir::Backend::Bytecode);
+  } else {
+    fail("--interp expects 'tree' or 'bytecode', got '" + value + "'");
+  }
+}
+
 }  // namespace
 
 int run(const std::vector<std::string>& args, std::ostream& out) {
@@ -450,6 +463,13 @@ int run(const std::vector<std::string>& args, std::ostream& out) {
         first += 2;
       } else if (flag.starts_with("--threads=")) {
         set_thread_override(parse_thread_count(flag.substr(10)));
+        first += 1;
+      } else if (flag == "--interp") {
+        check(first + 1 < args.size(), "--interp requires a value");
+        set_interp_backend(args[first + 1]);
+        first += 2;
+      } else if (flag.starts_with("--interp=")) {
+        set_interp_backend(flag.substr(9));
         first += 1;
       } else if (flag == "--trace" || flag == "--metrics") {
         check(first + 1 < args.size(), flag + " requires a file path");

@@ -1,11 +1,15 @@
 #include "kernelir/interp.hpp"
 
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "common/thread_pool.hpp"
+#include "kernelir/compile.hpp"
+#include "kernelir/vm.hpp"
 #include "trace/trace.hpp"
 
 namespace gemmtune::ir {
@@ -33,14 +37,18 @@ inline double round_fp(double v, Scalar s) {
 // buffer elements (concurrent groups race on a real device otherwise).
 class Machine {
  public:
-  Machine(const Kernel& k, std::array<std::int64_t, 2> global,
-          std::array<std::int64_t, 2> local,
-          const std::vector<ArgValue>& args)
-      : k_(k), global_(global), local_(local), args_(args) {
-    validate();
-    items_per_group_ = local_[0] * local_[1];
-    build_storage_maps();
-  }
+  // The plan carries the validated geometry and storage counts, so
+  // constructing a per-worker Machine only allocates scratch (no repeated
+  // validation or symbol-table walks per thread).
+  explicit Machine(const LaunchPlan& plan)
+      : k_(*plan.kernel),
+        global_(plan.global),
+        local_(plan.local),
+        args_(*plan.args),
+        items_per_group_(plan.items_per_group),
+        n_vars_(plan.n_vars),
+        n_parrays_(plan.n_parrays),
+        n_larrays_(plan.n_larrays) {}
 
   /// Runs work-groups [begin, end) of the row-major linearized group space
   /// (group g = (g % ngx, g / ngx)) and returns the counters this Machine
@@ -54,39 +62,6 @@ class Machine {
   }
 
  private:
-  // ---- setup ---------------------------------------------------------------
-
-  void validate() const {
-    check(local_[0] > 0 && local_[1] > 0, "launch: empty work-group");
-    check(global_[0] > 0 && global_[1] > 0, "launch: empty NDRange");
-    check(global_[0] % local_[0] == 0 && global_[1] % local_[1] == 0,
-          "launch: global size not a multiple of local size");
-    if (k_.reqd_local[0] > 0) {
-      check(k_.reqd_local[0] == local_[0] && k_.reqd_local[1] == local_[1],
-            "launch: work-group size violates reqd_work_group_size");
-    }
-    check(args_.size() == k_.args.size(), "launch: argument count mismatch");
-    for (std::size_t i = 0; i < args_.size(); ++i) {
-      const bool is_ptr = k_.args[i].kind == ArgKind::GlobalPtr ||
-                          k_.args[i].kind == ArgKind::GlobalConstPtr;
-      check(is_ptr == (args_[i].buffer != nullptr),
-            "launch: argument " + k_.args[i].name + " kind mismatch");
-    }
-  }
-
-  void build_storage_maps() {
-    n_vars_ = n_parrays_ = n_larrays_ = 0;
-    for (const auto& sym : k_.symbols) {
-      if (sym.array_len == 0) {
-        ++n_vars_;
-      } else if (sym.space == AddrSpace::Private) {
-        ++n_parrays_;
-      } else {
-        ++n_larrays_;
-      }
-    }
-  }
-
   // ---- per-group execution --------------------------------------------------
 
   struct Item {
@@ -515,15 +490,37 @@ Counters merge(Counters a, const Counters& b) {
 
 }  // namespace
 
-Counters launch(const Kernel& kernel, std::array<std::int64_t, 2> global,
-                std::array<std::int64_t, 2> local,
-                const std::vector<ArgValue>& args, int threads) {
+std::atomic<Backend> g_backend_override{Backend::Auto};
+
+void set_backend_override(Backend b) {
+  g_backend_override.store(b, std::memory_order_relaxed);
+}
+
+Backend resolve_backend(Backend requested) {
+  if (requested != Backend::Auto) return requested;
+  const Backend o = g_backend_override.load(std::memory_order_relaxed);
+  if (o != Backend::Auto) return o;
+  if (const char* env = std::getenv("GEMMTUNE_INTERP")) {
+    if (std::strcmp(env, "tree") == 0) return Backend::Tree;
+    check(std::strcmp(env, "bytecode") == 0,
+          "GEMMTUNE_INTERP must be \"tree\" or \"bytecode\"");
+  }
+  return Backend::Bytecode;
+}
+
+Counters launch_with_backend(const Kernel& kernel,
+                             std::array<std::int64_t, 2> global,
+                             std::array<std::int64_t, 2> local,
+                             const std::vector<ArgValue>& args, int threads,
+                             Backend backend) {
   trace::Span launch_span("interp.launch");
-  // Validate on the calling thread before any fan-out (Machine's
-  // constructor throws on malformed launches).
-  Machine machine0(kernel, global, local, args);
-  const std::int64_t ngroups =
-      (global[0] / local[0]) * (global[1] / local[1]);
+  const Backend be = resolve_backend(backend);
+  // Validate once on the calling thread before any fan-out; workers share
+  // the immutable plan and only allocate scratch.
+  const LaunchPlan plan(kernel, global, local, args);
+  const std::int64_t ngroups = plan.ngroups;
+  CompiledKernelPtr prog;
+  if (be == Backend::Bytecode) prog = get_or_compile(kernel);
 
   std::optional<ThreadPool> local_pool;
   if (threads > 0) local_pool.emplace(threads);
@@ -531,18 +528,31 @@ Counters launch(const Kernel& kernel, std::array<std::int64_t, 2> global,
 
   Counters total;
   if (pool.size() == 1 || ngroups < 2) {
-    total = machine0.run_range(0, ngroups);
+    if (prog) {
+      VmMachine vm(*prog, plan);
+      total = vm.run_range(0, ngroups);
+    } else {
+      Machine m(plan);
+      total = m.run_range(0, ngroups);
+    }
   } else {
-    // One Machine per worker: all per-group scratch state (work-item
-    // registers, private/local arrays, counters) lives in that worker's
-    // Machine, and the counter sums are order-independent, so results and
-    // counters are identical to the serial run for any thread count.
+    // One execution context per worker: all per-group scratch state
+    // (work-item registers, private/local arrays, counters) lives in that
+    // worker's Machine, and the counter sums are order-independent, so
+    // results and counters are identical to the serial run for any thread
+    // count — and for either backend.
     std::vector<Counters> partial(static_cast<std::size_t>(pool.size()));
     pool.parallel_for(ngroups,
                       [&](std::int64_t begin, std::int64_t end, int worker) {
-                        Machine m(kernel, global, local, args);
-                        partial[static_cast<std::size_t>(worker)] =
-                            m.run_range(begin, end);
+                        Counters c;
+                        if (prog) {
+                          VmMachine vm(*prog, plan);
+                          c = vm.run_range(begin, end);
+                        } else {
+                          Machine m(plan);
+                          c = m.run_range(begin, end);
+                        }
+                        partial[static_cast<std::size_t>(worker)] = c;
                       });
     for (const Counters& c : partial) total = merge(total, c);
   }
@@ -565,6 +575,13 @@ Counters launch(const Kernel& kernel, std::array<std::int64_t, 2> global,
     trace::counter_add("interp.work_items", total.work_items);
   }
   return total;
+}
+
+Counters launch(const Kernel& kernel, std::array<std::int64_t, 2> global,
+                std::array<std::int64_t, 2> local,
+                const std::vector<ArgValue>& args, int threads) {
+  return launch_with_backend(kernel, global, local, args, threads,
+                             Backend::Auto);
 }
 
 }  // namespace gemmtune::ir

@@ -60,6 +60,21 @@ struct Counters {
   bool operator==(const Counters&) const = default;
 };
 
+/// Interpreter backend. `Bytecode` compiles the kernel to a flat register
+/// program via a process-wide compiled-kernel cache (compile.hpp) and runs
+/// it on the VM (vm.hpp); `Tree` walks the expression tree directly and is
+/// kept as the reference semantics. Both produce bit-identical buffers and
+/// counters at any thread count. `Auto` resolves, in priority order: the
+/// process-wide override (the CLI --interp flag), the GEMMTUNE_INTERP
+/// environment variable ("tree" / "bytecode"), then Bytecode.
+enum class Backend { Auto, Tree, Bytecode };
+
+/// Sets the process-wide backend override (Auto clears it).
+void set_backend_override(Backend b);
+
+/// Resolves `requested` against the override / environment / default.
+Backend resolve_backend(Backend requested);
+
 /// Executes `kernel` over `global` work-items in groups of `local`.
 /// `global[d]` must be a positive multiple of `local[d]`; when the kernel
 /// declares a required work-group size it must match `local`. Throws
@@ -73,11 +88,24 @@ struct Counters {
 /// argument buffers are shared, and distinct work-groups of a well-formed
 /// kernel write disjoint buffer elements (overlapping group writes race on
 /// a real device too). Buffers and counters are bit-identical to the
-/// serial run for every thread count. Concurrent launch() calls from
-/// different threads are safe as long as their writable buffers are
-/// disjoint.
+/// serial run for every thread count and for both backends. Concurrent
+/// launch() calls from different threads are safe as long as their
+/// writable buffers are disjoint.
+///
+/// On malformed launches both backends throw gemmtune::Error with the same
+/// message text (modulo the source-location prefix); when several
+/// work-items fault inside one statement the backends may report a
+/// different faulting instance, and buffer contents after a throw are
+/// unspecified.
 Counters launch(const Kernel& kernel, std::array<std::int64_t, 2> global,
                 std::array<std::int64_t, 2> local,
                 const std::vector<ArgValue>& args, int threads = 0);
+
+/// launch() with an explicit backend choice (tests and benchmarks).
+Counters launch_with_backend(const Kernel& kernel,
+                             std::array<std::int64_t, 2> global,
+                             std::array<std::int64_t, 2> local,
+                             const std::vector<ArgValue>& args, int threads,
+                             Backend backend);
 
 }  // namespace gemmtune::ir

@@ -1,0 +1,639 @@
+// Bytecode virtual machine: instruction-major execution of a
+// CompiledKernel. Every run-time check the tree-walker performs (launch
+// validation, loop-bound uniformity, bounds, divide-by-zero, barrier
+// divergence) is re-raised here with the same message text, and every
+// counter is accumulated per work-item exactly where the tree would.
+#include "kernelir/vm.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace gemmtune::ir {
+
+LaunchPlan::LaunchPlan(const Kernel& k, std::array<std::int64_t, 2> g,
+                       std::array<std::int64_t, 2> l,
+                       const std::vector<ArgValue>& a)
+    : kernel(&k), global(g), local(l), args(&a) {
+  check(local[0] > 0 && local[1] > 0, "launch: empty work-group");
+  check(global[0] > 0 && global[1] > 0, "launch: empty NDRange");
+  check(global[0] % local[0] == 0 && global[1] % local[1] == 0,
+        "launch: global size not a multiple of local size");
+  if (k.reqd_local[0] > 0) {
+    check(k.reqd_local[0] == local[0] && k.reqd_local[1] == local[1],
+          "launch: work-group size violates reqd_work_group_size");
+  }
+  check(a.size() == k.args.size(), "launch: argument count mismatch");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const bool is_ptr = k.args[i].kind == ArgKind::GlobalPtr ||
+                        k.args[i].kind == ArgKind::GlobalConstPtr;
+    check(is_ptr == (a[i].buffer != nullptr),
+          "launch: argument " + k.args[i].name + " kind mismatch");
+  }
+  ngx = global[0] / local[0];
+  ngroups = ngx * (global[1] / local[1]);
+  items_per_group = local[0] * local[1];
+  for (const auto& sym : k.symbols) {
+    if (sym.array_len == 0) {
+      ++n_vars;
+    } else if (sym.space == AddrSpace::Private) {
+      ++n_parrays;
+    } else {
+      ++n_larrays;
+    }
+  }
+  views.resize(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ArgView& v = views[i];
+    v.i = a[i].i;
+    v.f = a[i].f;
+    if (a[i].buffer) {
+      simcl::Buffer& buf = *a[i].buffer;
+      if (k.args[i].elem == Scalar::F64) {
+        v.f64 = buf.as<double>();
+        v.elems = static_cast<std::int64_t>(buf.size()) / 8;
+      } else {
+        v.f32 = buf.as<float>();
+        v.elems = static_cast<std::int64_t>(buf.size()) / 4;
+      }
+    }
+  }
+}
+
+VmMachine::VmMachine(const CompiledKernel& prog, const LaunchPlan& plan)
+    : p_(prog), plan_(plan) {
+  nitems_ = static_cast<int>(plan.items_per_group);
+  u_.assign(static_cast<std::size_t>(p_.n_u), 0);
+  vi_.assign(static_cast<std::size_t>(p_.n_vi) *
+                 static_cast<std::size_t>(nitems_),
+             0);
+  vf_.assign(static_cast<std::size_t>(p_.n_vf) *
+                 static_cast<std::size_t>(nitems_),
+             0.0);
+  parr_.assign(static_cast<std::size_t>(p_.parr_doubles) *
+                   static_cast<std::size_t>(nitems_),
+               0.0);
+  larr_.assign(static_cast<std::size_t>(p_.larr_doubles), 0.0);
+  mask_.assign(static_cast<std::size_t>(nitems_), 1);
+  mask_stack_.resize(static_cast<std::size_t>(p_.max_mask_depth));
+  for (auto& f : mask_stack_)
+    f.saved.assign(static_cast<std::size_t>(nitems_), 1);
+}
+
+Counters VmMachine::run_range(std::int64_t begin, std::int64_t end) {
+  for (std::int64_t g = begin; g < end; ++g)
+    run_group(g % plan_.ngx, g / plan_.ngx);
+  return counters_;
+}
+
+std::int64_t VmMachine::builtin_u(int fn_dim) const {
+  const int dim = fn_dim & 1;
+  const auto fn = static_cast<BuiltinFn>(fn_dim >> 1);
+  const std::int64_t gid = dim == 0 ? gx_ : gy_;
+  const std::int64_t lsz = plan_.local[static_cast<std::size_t>(dim)];
+  const std::int64_t gsz = plan_.global[static_cast<std::size_t>(dim)];
+  switch (fn) {
+    case BuiltinFn::GroupId: return gid;
+    case BuiltinFn::LocalSize: return lsz;
+    case BuiltinFn::NumGroups: return gsz / lsz;
+    default: break;
+  }
+  fail("interp: bad builtin");
+}
+
+void VmMachine::run_group(std::int64_t gx, std::int64_t gy) {
+  gx_ = gx;
+  gy_ = gy;
+  const int ni = nitems_;
+  const auto nu = static_cast<std::size_t>(ni);
+  // Per-group state reset mirrors the tree's fresh Item/array vectors:
+  // variables and slabs read as zero until written; temporaries are
+  // provably written before read (their defining instruction dominates
+  // every use in the same group).
+  std::fill(u_.begin(), u_.end(), 0);
+  std::fill(vi_.begin(), vi_.begin() + static_cast<std::ptrdiff_t>(
+                                           static_cast<std::size_t>(
+                                               p_.n_vi_vars) *
+                                           nu),
+            0);
+  std::fill(vf_.begin(), vf_.begin() + static_cast<std::ptrdiff_t>(
+                                           static_cast<std::size_t>(
+                                               p_.n_vf_vars) *
+                                           nu),
+            0.0);
+  std::fill(parr_.begin(), parr_.end(), 0.0);
+  std::fill(larr_.begin(), larr_.end(), 0.0);
+  std::fill(mask_.begin(), mask_.end(), 1);
+  active_ = ni;
+  mask_depth_ = 0;
+
+  const Insn* code = p_.code.data();
+  const std::int64_t lsx = plan_.local[0];
+  std::int64_t pc = 0;
+  for (;;) {
+    const Insn& in = code[pc];
+    ++pc;
+    switch (in.op) {
+      case Op::Halt:
+        return;
+      case Op::UConst:
+        u_[static_cast<std::size_t>(in.dst)] = in.imm;
+        break;
+      case Op::UArg:
+        u_[static_cast<std::size_t>(in.dst)] =
+            plan_.views[static_cast<std::size_t>(in.a)].i;
+        break;
+      case Op::UBuiltin:
+        u_[static_cast<std::size_t>(in.dst)] = builtin_u(in.aux);
+        break;
+      case Op::UAdd:
+        u_[static_cast<std::size_t>(in.dst)] =
+            u_[static_cast<std::size_t>(in.a)] +
+            u_[static_cast<std::size_t>(in.b)];
+        break;
+      case Op::USub:
+        u_[static_cast<std::size_t>(in.dst)] =
+            u_[static_cast<std::size_t>(in.a)] -
+            u_[static_cast<std::size_t>(in.b)];
+        break;
+      case Op::UMul:
+        u_[static_cast<std::size_t>(in.dst)] =
+            u_[static_cast<std::size_t>(in.a)] *
+            u_[static_cast<std::size_t>(in.b)];
+        break;
+      case Op::UDiv: {
+        const std::int64_t d = u_[static_cast<std::size_t>(in.b)];
+        if (d == 0) fail("interp: integer division by zero");
+        u_[static_cast<std::size_t>(in.dst)] =
+            u_[static_cast<std::size_t>(in.a)] / d;
+        break;
+      }
+      case Op::UMod: {
+        const std::int64_t d = u_[static_cast<std::size_t>(in.b)];
+        if (d == 0) fail("interp: integer modulo by zero");
+        u_[static_cast<std::size_t>(in.dst)] =
+            u_[static_cast<std::size_t>(in.a)] % d;
+        break;
+      }
+      case Op::ULt:
+        u_[static_cast<std::size_t>(in.dst)] =
+            u_[static_cast<std::size_t>(in.a)] <
+                    u_[static_cast<std::size_t>(in.b)]
+                ? 1
+                : 0;
+        break;
+      case Op::UAnd:
+        u_[static_cast<std::size_t>(in.dst)] =
+            (u_[static_cast<std::size_t>(in.a)] != 0 &&
+             u_[static_cast<std::size_t>(in.b)] != 0)
+                ? 1
+                : 0;
+        break;
+      case Op::UMov:
+        u_[static_cast<std::size_t>(in.dst)] =
+            u_[static_cast<std::size_t>(in.a)];
+        break;
+      case Op::UStepCheck:
+        if (u_[static_cast<std::size_t>(in.a)] <= 0)
+          fail("for: non-positive step");
+        break;
+      case Op::VBuiltin: {
+        std::int64_t* dst = &vi_[static_cast<std::size_t>(in.dst) * nu];
+        const int dim = in.aux & 1;
+        const auto fn = static_cast<BuiltinFn>(in.aux >> 1);
+        for (int t = 0; t < ni; ++t) {
+          const std::int64_t lid = dim == 0 ? t % lsx : t / lsx;
+          switch (fn) {
+            case BuiltinFn::LocalId:
+              dst[t] = lid;
+              break;
+            case BuiltinFn::GlobalId:
+              dst[t] = (dim == 0 ? gx_ : gy_) *
+                           plan_.local[static_cast<std::size_t>(dim)] +
+                       lid;
+              break;
+            default:
+              dst[t] = builtin_u(in.aux);
+              break;
+          }
+        }
+        break;
+      }
+      case Op::VAdd:
+      case Op::VSub:
+      case Op::VMul:
+      case Op::VLt:
+      case Op::VAnd: {
+        std::int64_t* dst = &vi_[static_cast<std::size_t>(in.dst) * nu];
+        const std::int64_t* a =
+            in.flags & kAUni ? nullptr
+                             : &vi_[static_cast<std::size_t>(in.a) * nu];
+        const std::int64_t* b =
+            in.flags & kBUni ? nullptr
+                             : &vi_[static_cast<std::size_t>(in.b) * nu];
+        const std::int64_t au =
+            a ? 0 : u_[static_cast<std::size_t>(in.a)];
+        const std::int64_t bu =
+            b ? 0 : u_[static_cast<std::size_t>(in.b)];
+        for (int t = 0; t < ni; ++t) {
+          const std::int64_t x = a ? a[t] : au;
+          const std::int64_t y = b ? b[t] : bu;
+          switch (in.op) {
+            case Op::VAdd: dst[t] = x + y; break;
+            case Op::VSub: dst[t] = x - y; break;
+            case Op::VMul: dst[t] = x * y; break;
+            case Op::VLt: dst[t] = x < y ? 1 : 0; break;
+            default: dst[t] = (x != 0 && y != 0) ? 1 : 0; break;
+          }
+        }
+        break;
+      }
+      case Op::VDiv:
+      case Op::VMod: {
+        std::int64_t* dst = &vi_[static_cast<std::size_t>(in.dst) * nu];
+        const std::int64_t* a =
+            in.flags & kAUni ? nullptr
+                             : &vi_[static_cast<std::size_t>(in.a) * nu];
+        const std::int64_t* b =
+            in.flags & kBUni ? nullptr
+                             : &vi_[static_cast<std::size_t>(in.b) * nu];
+        const std::int64_t au =
+            a ? 0 : u_[static_cast<std::size_t>(in.a)];
+        const std::int64_t bu =
+            b ? 0 : u_[static_cast<std::size_t>(in.b)];
+        const bool masked = in.flags & kMasked;
+        for (int t = 0; t < ni; ++t) {
+          if (masked && !mask_[static_cast<std::size_t>(t)]) continue;
+          const std::int64_t x = a ? a[t] : au;
+          const std::int64_t y = b ? b[t] : bu;
+          if (in.op == Op::VDiv) {
+            if (y == 0) fail("interp: integer division by zero");
+            dst[t] = x / y;
+          } else {
+            if (y == 0) fail("interp: integer modulo by zero");
+            dst[t] = x % y;
+          }
+        }
+        break;
+      }
+      case Op::VMovU: {
+        std::int64_t* dst = &vi_[static_cast<std::size_t>(in.dst) * nu];
+        const std::int64_t v = u_[static_cast<std::size_t>(in.a)];
+        if (in.flags & kMasked) {
+          for (int t = 0; t < ni; ++t)
+            if (mask_[static_cast<std::size_t>(t)]) dst[t] = v;
+        } else {
+          for (int t = 0; t < ni; ++t) dst[t] = v;
+        }
+        break;
+      }
+      case Op::VMov: {
+        std::int64_t* dst = &vi_[static_cast<std::size_t>(in.dst) * nu];
+        const std::int64_t* src = &vi_[static_cast<std::size_t>(in.a) * nu];
+        if (in.flags & kMasked) {
+          for (int t = 0; t < ni; ++t)
+            if (mask_[static_cast<std::size_t>(t)]) dst[t] = src[t];
+        } else {
+          for (int t = 0; t < ni; ++t) dst[t] = src[t];
+        }
+        break;
+      }
+      case Op::FConst: {
+        double* dst = &vf_[static_cast<std::size_t>(in.dst) * nu];
+        const double* src = &p_.fpool[static_cast<std::size_t>(in.imm)];
+        const int w = in.lanes;
+        for (int t = 0; t < ni; ++t)
+          for (int l = 0; l < w; ++l)
+            dst[t * w + l] = src[l];
+        break;
+      }
+      case Op::FArg: {
+        double* dst = &vf_[static_cast<std::size_t>(in.dst) * nu];
+        double x = plan_.views[static_cast<std::size_t>(in.a)].f;
+        if (in.aux & kRoundF32)
+          x = static_cast<double>(static_cast<float>(x));
+        const int w = in.lanes;
+        for (int t = 0; t < ni; ++t) {
+          dst[t * w] = x;
+          for (int l = 1; l < w; ++l) dst[t * w + l] = 0.0;
+        }
+        break;
+      }
+      case Op::FMov: {
+        double* dst = &vf_[static_cast<std::size_t>(in.dst) * nu];
+        const double* src = &vf_[static_cast<std::size_t>(in.a) * nu];
+        const int dw = in.b, sw = in.c, n = in.lanes;
+        const bool masked = in.flags & kMasked;
+        for (int t = 0; t < ni; ++t) {
+          if (masked && !mask_[static_cast<std::size_t>(t)]) continue;
+          for (int l = 0; l < n; ++l) dst[t * dw + l] = src[t * sw + l];
+          for (int l = n; l < dw; ++l) dst[t * dw + l] = 0.0;
+        }
+        break;
+      }
+      case Op::FSplat: {
+        double* dst = &vf_[static_cast<std::size_t>(in.dst) * nu];
+        const double* src = &vf_[static_cast<std::size_t>(in.a) * nu];
+        const int w = in.lanes, sw = in.aux;
+        for (int t = 0; t < ni; ++t) {
+          const double x = src[t * sw];
+          for (int l = 0; l < w; ++l) dst[t * w + l] = x;
+        }
+        break;
+      }
+      case Op::FLane: {
+        double* dst = &vf_[static_cast<std::size_t>(in.dst) * nu];
+        const double* src = &vf_[static_cast<std::size_t>(in.a) * nu];
+        const int sw = in.aux;
+        const auto ln = static_cast<int>(in.imm);
+        for (int t = 0; t < ni; ++t)
+          dst[t] = ln < sw ? src[t * sw + ln] : 0.0;
+        break;
+      }
+      case Op::FAdd:
+      case Op::FSub:
+      case Op::FMul: {
+        double* dst = &vf_[static_cast<std::size_t>(in.dst) * nu];
+        const double* a = &vf_[static_cast<std::size_t>(in.a) * nu];
+        const double* b = &vf_[static_cast<std::size_t>(in.b) * nu];
+        const int w = in.lanes;
+        const bool rnd = in.aux & kRoundF32;
+        const bool masked = in.flags & kMasked;
+        for (int t = 0; t < ni; ++t) {
+          if (masked && !mask_[static_cast<std::size_t>(t)]) continue;
+          for (int l = 0; l < w; ++l) {
+            double r = 0;
+            if (in.op == Op::FAdd) r = a[t * w + l] + b[t * w + l];
+            if (in.op == Op::FSub) r = a[t * w + l] - b[t * w + l];
+            if (in.op == Op::FMul) r = a[t * w + l] * b[t * w + l];
+            dst[t * w + l] =
+                rnd ? static_cast<double>(static_cast<float>(r)) : r;
+          }
+          counters_.flops += static_cast<std::uint64_t>(w);
+        }
+        break;
+      }
+      case Op::FMad: {
+        double* dst = &vf_[static_cast<std::size_t>(in.dst) * nu];
+        const double* a = &vf_[static_cast<std::size_t>(in.a) * nu];
+        const double* b = &vf_[static_cast<std::size_t>(in.b) * nu];
+        const double* c = &vf_[static_cast<std::size_t>(in.c) * nu];
+        const int w = in.lanes;
+        const bool rnd = in.aux & kRoundF32;
+        const bool masked = in.flags & kMasked;
+        for (int t = 0; t < ni; ++t) {
+          if (masked && !mask_[static_cast<std::size_t>(t)]) continue;
+          for (int l = 0; l < w; ++l) {
+            const double r =
+                a[t * w + l] * b[t * w + l] + c[t * w + l];
+            dst[t * w + l] =
+                rnd ? static_cast<double>(static_cast<float>(r)) : r;
+          }
+          counters_.flops += 2u * static_cast<std::uint64_t>(w);
+          ++counters_.mads;
+        }
+        break;
+      }
+      case Op::FmaPP: {
+        // Fused rank-1 update step: Cpm[ci..] = a * Bpm[bi..] + Cpm[ci..]
+        // per item, private addressing resolved at compile time. Counters
+        // match the tree's Mad evaluation (private traffic counts none).
+        const ArrayRef& cr = p_.arrays[static_cast<std::size_t>(in.a)];
+        const ArrayRef& br = p_.arrays[static_cast<std::size_t>(in.b)];
+        const double* av = &vf_[static_cast<std::size_t>(in.c) * nu];
+        const int w = in.lanes;
+        const int stride = in.aux >> 3;
+        const bool rnd = in.aux & kRoundF32;
+        const std::int64_t coff = cr.offset + in.dst;
+        const std::int64_t boff = br.offset + in.imm;
+        for (int t = 0; t < ni; ++t) {
+          double* pa = &parr_[static_cast<std::size_t>(t) *
+                              static_cast<std::size_t>(p_.parr_doubles)];
+          double* cp = pa + coff;
+          const double* bp = pa + boff;
+          const double* ap = av + t * stride;
+          for (int l = 0; l < w; ++l) {
+            const double r = ap[l] * bp[l] + cp[l];
+            cp[l] = rnd ? static_cast<double>(static_cast<float>(r)) : r;
+          }
+          counters_.flops += 2u * static_cast<std::uint64_t>(w);
+          ++counters_.mads;
+        }
+        break;
+      }
+      case Op::SplatLaneP: {
+        // Fused avec = splat(lane(Apm[imm])): one private read splatted
+        // into the variable's slab, zero-filled to its full width.
+        const ArrayRef& ar = p_.arrays[static_cast<std::size_t>(in.a)];
+        double* dst = &vf_[static_cast<std::size_t>(in.dst) * nu];
+        const int w = in.lanes, dw = in.b;
+        const std::int64_t off = ar.offset + in.imm;
+        for (int t = 0; t < ni; ++t) {
+          const double x = parr_[static_cast<std::size_t>(t) *
+                                     static_cast<std::size_t>(
+                                         p_.parr_doubles) +
+                                 static_cast<std::size_t>(off)];
+          for (int l = 0; l < w; ++l) dst[t * dw + l] = x;
+          for (int l = w; l < dw; ++l) dst[t * dw + l] = 0.0;
+        }
+        break;
+      }
+      case Op::LoadG:
+      case Op::StoreG: {
+        const bool is_store = in.op == Op::StoreG;
+        const LaunchPlan::ArgView& view =
+            plan_.views[static_cast<std::size_t>(in.a)];
+        const int w = in.lanes;
+        const bool f32 = in.aux & kElemF32;
+        const int ebytes = f32 ? 4 : 8;
+        const bool masked = in.flags & kMasked;
+        const std::int64_t* addr_v =
+            (in.flags & (kImmAddr | kBUni))
+                ? nullptr
+                : &vi_[static_cast<std::size_t>(in.b) * nu];
+        const std::int64_t addr_u =
+            in.flags & kImmAddr
+                ? in.imm
+                : (addr_v ? 0 : u_[static_cast<std::size_t>(in.b)]);
+        double* dst = is_store
+                          ? nullptr
+                          : &vf_[static_cast<std::size_t>(in.dst) * nu];
+        const double* val =
+            is_store ? &vf_[static_cast<std::size_t>(in.c) * nu] : nullptr;
+        for (int t = 0; t < ni; ++t) {
+          if (masked && !mask_[static_cast<std::size_t>(t)]) continue;
+          const std::int64_t idx = addr_v ? addr_v[t] : addr_u;
+          if (idx < 0 || idx + w > view.elems)
+            fail(strf("global %s out of range: index %lld + %d lanes, "
+                      "buffer %lld elements",
+                      is_store ? "store" : "load",
+                      static_cast<long long>(idx), w,
+                      static_cast<long long>(view.elems)));
+          if (is_store) {
+            if (f32) {
+              for (int l = 0; l < w; ++l)
+                view.f32[idx + l] =
+                    static_cast<float>(val[t * w + l]);
+            } else {
+              for (int l = 0; l < w; ++l)
+                view.f64[idx + l] = val[t * w + l];
+            }
+          } else {
+            if (f32) {
+              for (int l = 0; l < w; ++l)
+                dst[t * w + l] =
+                    static_cast<double>(view.f32[idx + l]);
+            } else {
+              for (int l = 0; l < w; ++l) dst[t * w + l] = view.f64[idx + l];
+            }
+          }
+          const auto bytes = static_cast<std::uint64_t>(w) *
+                             static_cast<std::uint64_t>(ebytes);
+          if (is_store) {
+            counters_.global_store_bytes += bytes;
+          } else {
+            counters_.global_load_bytes += bytes;
+          }
+        }
+        break;
+      }
+      case Op::LoadL:
+      case Op::StoreL:
+      case Op::LoadP:
+      case Op::StoreP: {
+        const bool is_store = in.op == Op::StoreL || in.op == Op::StoreP;
+        const bool local = in.op == Op::LoadL || in.op == Op::StoreL;
+        const ArrayRef& ar = p_.arrays[static_cast<std::size_t>(in.a)];
+        const int w = in.lanes;
+        const bool masked = in.flags & kMasked;
+        const std::int64_t* addr_v =
+            (in.flags & (kImmAddr | kBUni))
+                ? nullptr
+                : &vi_[static_cast<std::size_t>(in.b) * nu];
+        const std::int64_t addr_u =
+            in.flags & kImmAddr
+                ? in.imm
+                : (addr_v ? 0 : u_[static_cast<std::size_t>(in.b)]);
+        double* dst = is_store
+                          ? nullptr
+                          : &vf_[static_cast<std::size_t>(in.dst) * nu];
+        const double* val =
+            is_store ? &vf_[static_cast<std::size_t>(in.c) * nu] : nullptr;
+        const auto bytes = static_cast<std::uint64_t>(w) *
+                           (in.aux & kCount8 ? 8u : 4u);
+        for (int t = 0; t < ni; ++t) {
+          if (masked && !mask_[static_cast<std::size_t>(t)]) continue;
+          const std::int64_t idx = addr_v ? addr_v[t] : addr_u;
+          if (idx < 0 || idx + w > ar.len)
+            fail(strf("%s array '%s' %s out of range: index %lld + %d "
+                      "lanes, %zu elements",
+                      local ? "local" : "private", ar.name.c_str(),
+                      is_store ? "store" : "load",
+                      static_cast<long long>(idx), w,
+                      static_cast<std::size_t>(ar.len)));
+          double* slab =
+              local ? larr_.data()
+                    : &parr_[static_cast<std::size_t>(t) *
+                             static_cast<std::size_t>(p_.parr_doubles)];
+          double* p = slab + ar.offset + idx;
+          if (is_store) {
+            for (int l = 0; l < w; ++l) p[l] = val[t * w + l];
+            if (local) counters_.local_store_bytes += bytes;
+          } else {
+            for (int l = 0; l < w; ++l) dst[t * w + l] = p[l];
+            if (local) counters_.local_load_bytes += bytes;
+          }
+        }
+        break;
+      }
+      case Op::Jmp:
+        pc = in.imm;
+        break;
+      case Op::JzU:
+        if (u_[static_cast<std::size_t>(in.a)] == 0) pc = in.imm;
+        break;
+      case Op::JgeU:
+        if (u_[static_cast<std::size_t>(in.a)] >=
+            u_[static_cast<std::size_t>(in.b)])
+          pc = in.imm;
+        break;
+      case Op::JNone:
+        if (active_ == 0) pc = in.imm;
+        break;
+      case Op::ForCheckV: {
+        // The tree evaluates loop bounds at the first active item, then
+        // verifies every active item agrees before checking the step.
+        const std::int64_t* a = &vi_[static_cast<std::size_t>(in.a) * nu];
+        const std::int64_t* b = &vi_[static_cast<std::size_t>(in.b) * nu];
+        const std::int64_t* c = &vi_[static_cast<std::size_t>(in.c) * nu];
+        int first = -1;
+        for (int t = 0; t < ni; ++t) {
+          if (mask_[static_cast<std::size_t>(t)]) {
+            first = t;
+            break;
+          }
+        }
+        if (first < 0) {
+          pc = in.imm;
+          break;
+        }
+        const std::int64_t init = a[first], lim = b[first], stp = c[first];
+        for (int t = first; t < ni; ++t) {
+          if (!mask_[static_cast<std::size_t>(t)]) continue;
+          if (a[t] != init || b[t] != lim || c[t] != stp)
+            fail("for: non-uniform loop bounds across work-group");
+        }
+        if (stp <= 0) fail("for: non-positive step");
+        u_[static_cast<std::size_t>(in.dst)] = init;
+        u_[static_cast<std::size_t>(in.dst) + 1] = lim;
+        u_[static_cast<std::size_t>(in.dst) + 2] = stp;
+        break;
+      }
+      case Op::MaskPush: {
+        MaskFrame& f = mask_stack_[static_cast<std::size_t>(mask_depth_)];
+        ++mask_depth_;
+        f.saved = mask_;
+        f.cond = in.a;
+        f.saved_active = active_;
+        const std::int64_t* c = &vi_[static_cast<std::size_t>(in.a) * nu];
+        int n = 0;
+        for (int t = 0; t < ni; ++t) {
+          auto& m = mask_[static_cast<std::size_t>(t)];
+          m = m && c[t] != 0 ? 1 : 0;
+          n += m;
+        }
+        active_ = n;
+        break;
+      }
+      case Op::MaskFlip: {
+        MaskFrame& f =
+            mask_stack_[static_cast<std::size_t>(mask_depth_ - 1)];
+        const std::int64_t* c =
+            &vi_[static_cast<std::size_t>(f.cond) * nu];
+        int n = 0;
+        for (int t = 0; t < ni; ++t) {
+          auto& m = mask_[static_cast<std::size_t>(t)];
+          m = f.saved[static_cast<std::size_t>(t)] && c[t] == 0 ? 1 : 0;
+          n += m;
+        }
+        active_ = n;
+        break;
+      }
+      case Op::MaskPop: {
+        --mask_depth_;
+        MaskFrame& f = mask_stack_[static_cast<std::size_t>(mask_depth_)];
+        mask_.swap(f.saved);
+        active_ = f.saved_active;
+        break;
+      }
+      case Op::Barrier:
+        for (char m : mask_)
+          if (m == 0) fail("barrier inside divergent control flow");
+        ++counters_.barriers;
+        break;
+      case Op::Throw:
+        fail(p_.messages[static_cast<std::size_t>(in.imm)]);
+    }
+  }
+}
+
+}  // namespace gemmtune::ir

@@ -1,5 +1,9 @@
 #include "layout/packing.hpp"
 
+#include <algorithm>
+
+#include "common/thread_pool.hpp"
+
 namespace gemmtune {
 
 PackedExtents packed_extents(index_t M, index_t N, index_t K, index_t Mwg,
@@ -11,10 +15,88 @@ PackedExtents packed_extents(index_t M, index_t N, index_t K, index_t Mwg,
 
 namespace {
 
-// op(X)(r, c): element (r, c) of the logical operand after the transpose op.
+// The pack loops avoid Matrix::at / PackedIndexer::at per element: both
+// resolve strides and layout per call. Instead the source is read through
+// two strides (one per logical index of the transposed operand) and the
+// destination offset is computed per layout with the block coordinates
+// hoisted out of the inner loops. Work is cut into cache-sized row tiles
+// and the tiles are spread over the thread pool; every (row, col) pair is
+// written by exactly one tile, and each element's value and location depend
+// only on its indices, so the buffer is byte-identical at any thread count.
+constexpr index_t kRowTile = 64;
+constexpr index_t kColTile = 256;
+
+// Strides of logical element (r, c) of op(X): offset = r * sr + c * sc.
 template <typename T>
-T op_at(const Matrix<T>& X, Transpose trans, index_t r, index_t c) {
-  return trans == Transpose::No ? X.at(r, c) : X.at(c, r);
+void op_strides(const Matrix<T>& X, Transpose trans, index_t* sr,
+                index_t* sc) {
+  const index_t rs = X.order() == StorageOrder::RowMajor ? X.ld() : 1;
+  const index_t cs = X.order() == StorageOrder::RowMajor ? 1 : X.ld();
+  *sr = trans == Transpose::No ? rs : cs;
+  *sc = trans == Transpose::No ? cs : rs;
+}
+
+// Validates that op(X) covers rows x cols, with the same diagnostic the
+// per-element Matrix accessor would have produced.
+template <typename T>
+void check_op_extent(const Matrix<T>& X, Transpose trans, index_t rows,
+                     index_t cols) {
+  const index_t pr = trans == Transpose::No ? rows : cols;
+  const index_t pc = trans == Transpose::No ? cols : rows;
+  check(pr <= X.rows() && pc <= X.cols(), "Matrix: index out of range");
+}
+
+// Copies the live `rows x cols` region into `dst`: dst[off(r, c)] =
+// src[r * sr + c * sc]. The caller picks (sr, sc) so that the buffer's
+// (row, col) indices address the right source element — swapping the
+// operand's strides expresses a transpose-into-buffer with no extra code.
+template <typename T, typename DstOff>
+void pack_tiles(const T* src, index_t sr, index_t sc, index_t rows,
+                index_t cols, T* dst, DstOff off) {
+  const index_t n_rtiles = (rows + kRowTile - 1) / kRowTile;
+  ThreadPool::global().parallel_for(
+      n_rtiles, [&](std::int64_t tb, std::int64_t te, int) {
+        for (index_t rt = tb; rt < te; ++rt) {
+          const index_t r0 = rt * kRowTile;
+          const index_t r1 = std::min(r0 + kRowTile, rows);
+          for (index_t c0 = 0; c0 < cols; c0 += kColTile) {
+            const index_t c1 = std::min(c0 + kColTile, cols);
+            for (index_t r = r0; r < r1; ++r)
+              for (index_t c = c0; c < c1; ++c)
+                dst[off(r, c)] = src[r * sr + c * sc];
+          }
+        }
+      });
+}
+
+// Layout-specialized destination offsets for a rows x cols packed matrix
+// with (rblock, cblock) blocking; formulas match PackedIndexer::at.
+template <typename T, typename F>
+void dispatch_layout(BlockLayout layout, index_t rows, index_t cols,
+                     index_t rblock, index_t cblock, F run) {
+  (void)rows;
+  switch (layout) {
+    case BlockLayout::RowMajor:
+      run([cols](index_t r, index_t c) { return r * cols + c; });
+      return;
+    case BlockLayout::CBL: {
+      const index_t blk = rows * cblock;
+      run([blk, cblock](index_t r, index_t c) {
+        return (c / cblock) * blk + r * cblock + c % cblock;
+      });
+      return;
+    }
+    case BlockLayout::RBL: {
+      const index_t rowblk = rblock * cols;
+      const index_t blk = rblock * cblock;
+      run([rowblk, blk, rblock, cblock](index_t r, index_t c) {
+        return (r / rblock) * rowblk + (c / cblock) * blk +
+               (r % rblock) * cblock + c % cblock;
+      });
+      return;
+    }
+  }
+  fail("pack: bad layout");
 }
 
 }  // namespace
@@ -23,12 +105,16 @@ template <typename T>
 std::vector<T> pack_a(const Matrix<T>& A, Transpose trans, index_t M,
                       index_t K, index_t Mp, index_t Kp, BlockLayout layout,
                       index_t Mwg, index_t Kwg) {
-  PackedIndexer idx(layout, Kp, Mp, Kwg, Mwg);
+  PackedIndexer idx(layout, Kp, Mp, Kwg, Mwg);  // validates extents/blocking
   std::vector<T> buf(static_cast<std::size_t>(idx.size()), T{});
   // op(A) is M x K; the buffer stores op(A)^T, i.e. element (k, m).
-  for (index_t m = 0; m < M; ++m)
-    for (index_t k = 0; k < K; ++k)
-      buf[static_cast<std::size_t>(idx.at(k, m))] = op_at(A, trans, m, k);
+  check_op_extent(A, trans, M, K);
+  index_t sm = 0, sk = 0;
+  op_strides(A, trans, &sm, &sk);
+  dispatch_layout<T>(layout, Kp, Mp, Kwg, Mwg, [&](auto off) {
+    // Buffer row index = k (stride sk in the source), column index = m.
+    pack_tiles(A.data(), sk, sm, K, M, buf.data(), off);
+  });
   return buf;
 }
 
@@ -38,9 +124,13 @@ std::vector<T> pack_b(const Matrix<T>& B, Transpose trans, index_t K,
                       index_t Kwg, index_t Nwg) {
   PackedIndexer idx(layout, Kp, Np, Kwg, Nwg);
   std::vector<T> buf(static_cast<std::size_t>(idx.size()), T{});
-  for (index_t k = 0; k < K; ++k)
-    for (index_t n = 0; n < N; ++n)
-      buf[static_cast<std::size_t>(idx.at(k, n))] = op_at(B, trans, k, n);
+  // op(B) is K x N and is stored as-is: buffer element (k, n).
+  check_op_extent(B, trans, K, N);
+  index_t sk = 0, sn = 0;
+  op_strides(B, trans, &sk, &sn);
+  dispatch_layout<T>(layout, Kp, Np, Kwg, Nwg, [&](auto off) {
+    pack_tiles(B.data(), sk, sn, K, N, buf.data(), off);
+  });
   return buf;
 }
 
@@ -48,9 +138,26 @@ template <typename T>
 std::vector<T> pack_c(const Matrix<T>& C, index_t M, index_t N, index_t Mp,
                       index_t Np) {
   std::vector<T> buf(static_cast<std::size_t>(Mp * Np), T{});
-  for (index_t m = 0; m < M; ++m)
-    for (index_t n = 0; n < N; ++n)
-      buf[static_cast<std::size_t>(m * Np + n)] = C.at(m, n);
+  check_op_extent(C, Transpose::No, M, N);
+  index_t sm = 0, sn = 0;
+  op_strides(C, Transpose::No, &sm, &sn);
+  T* dst = buf.data();
+  const T* src = C.data();
+  const index_t n_rtiles = (M + kRowTile - 1) / kRowTile;
+  ThreadPool::global().parallel_for(
+      n_rtiles, [&](std::int64_t tb, std::int64_t te, int) {
+        for (index_t rt = tb; rt < te; ++rt) {
+          const index_t m1 = std::min(rt * kRowTile + kRowTile, M);
+          for (index_t m = rt * kRowTile; m < m1; ++m) {
+            if (sn == 1) {
+              std::copy_n(src + m * sm, N, dst + m * Np);
+            } else {
+              for (index_t n = 0; n < N; ++n)
+                dst[m * Np + n] = src[m * sm + n * sn];
+            }
+          }
+        }
+      });
   return buf;
 }
 
@@ -59,9 +166,26 @@ void unpack_c(const std::vector<T>& buf, index_t Mp, index_t Np, Matrix<T>& C,
               index_t M, index_t N) {
   check(static_cast<index_t>(buf.size()) == Mp * Np, "unpack_c: bad buffer");
   check(M <= Mp && N <= Np, "unpack_c: live region exceeds buffer");
-  for (index_t m = 0; m < M; ++m)
-    for (index_t n = 0; n < N; ++n)
-      C.at(m, n) = buf[static_cast<std::size_t>(m * Np + n)];
+  check_op_extent(C, Transpose::No, M, N);
+  index_t sm = 0, sn = 0;
+  op_strides(C, Transpose::No, &sm, &sn);
+  T* dst = C.data();
+  const T* src = buf.data();
+  const index_t n_rtiles = (M + kRowTile - 1) / kRowTile;
+  ThreadPool::global().parallel_for(
+      n_rtiles, [&](std::int64_t tb, std::int64_t te, int) {
+        for (index_t rt = tb; rt < te; ++rt) {
+          const index_t m1 = std::min(rt * kRowTile + kRowTile, M);
+          for (index_t m = rt * kRowTile; m < m1; ++m) {
+            if (sn == 1) {
+              std::copy_n(src + m * Np, N, dst + m * sm);
+            } else {
+              for (index_t n = 0; n < N; ++n)
+                dst[m * sm + n * sn] = src[m * Np + n];
+            }
+          }
+        }
+      });
 }
 
 BlockLayout block_layout_from_string(const std::string& s) {

@@ -10,6 +10,7 @@
 #include "codegen/gemm_generator.hpp"
 #include "codegen/paper_kernels.hpp"
 #include "kernelir/emit.hpp"
+#include "kernelir/interp.hpp"
 
 namespace gemmtune {
 namespace {
@@ -104,6 +105,26 @@ TEST(Cli, VerifyPassesAndBoundsSizes) {
   auto [rc2, out2] = run_cli({"verify", "Tahiti", "DGEMM", "9999", "10",
                               "10"});
   EXPECT_EQ(rc2, 1);
+}
+
+TEST(Cli, InterpFlagSelectsBackend) {
+  // Both backends must verify successfully; bad values are rejected
+  // before any command runs.
+  auto [rc1, out1] =
+      run_cli({"--interp", "tree", "verify", "Tahiti", "DGEMM", "40", "30",
+               "20"});
+  EXPECT_EQ(rc1, 0) << out1;
+  EXPECT_EQ(ir::resolve_backend(ir::Backend::Auto), ir::Backend::Tree);
+  auto [rc2, out2] =
+      run_cli({"--interp=bytecode", "verify", "Tahiti", "DGEMM", "40", "30",
+               "20"});
+  EXPECT_EQ(rc2, 0) << out2;
+  EXPECT_EQ(ir::resolve_backend(ir::Backend::Auto), ir::Backend::Bytecode);
+  auto [rc3, out3] = run_cli({"--interp", "jit", "devices"});
+  EXPECT_EQ(rc3, 1);
+  EXPECT_NE(out3.find("--interp expects 'tree' or 'bytecode'"),
+            std::string::npos);
+  ir::set_backend_override(ir::Backend::Auto);
 }
 
 TEST(Cli, ServeThenReplayMatches) {

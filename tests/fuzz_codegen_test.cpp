@@ -80,7 +80,8 @@ void check_kernel_properties(const KernelParams& p, std::uint64_t seed) {
   const ir::Kernel k1 = codegen::generate_gemm_kernel(p);
   const ir::Kernel k2 = clfront::parse_kernel(ir::emit_opencl(k1));
 
-  auto run = [&](const ir::Kernel& k) {
+  auto run = [&](const ir::Kernel& k, ir::Backend backend,
+                 ir::Counters* counters) {
     auto abuf = pack_a(A, Transpose::No, M, K, M, K, p.layout_a, p.Mwg,
                        p.Kwg);
     auto bbuf = pack_b(B, Transpose::No, K, N, K, N, p.layout_b, p.Kwg,
@@ -102,15 +103,24 @@ void check_kernel_properties(const KernelParams& p, std::uint64_t seed) {
     args[GemmKernelArgs::K] = ir::ArgValue::of_int(K);
     args[GemmKernelArgs::alpha] = ir::ArgValue::of_float(1.5);
     args[GemmKernelArgs::beta] = ir::ArgValue::of_float(-0.5);
-    ir::launch(k, geo.global, geo.local, args);
+    const ir::Counters c =
+        ir::launch_with_backend(k, geo.global, geo.local, args, 0, backend);
+    if (counters) *counters = c;
     std::vector<T> out(dC->template count<T>());
     std::memcpy(out.data(), dC->data(), dC->size());
     return out;
   };
 
-  const auto out1 = run(k1);
-  const auto out2 = run(k2);
+  ir::Counters c_byte, c_tree;
+  const auto out1 = run(k1, ir::Backend::Bytecode, &c_byte);
+  const auto out2 = run(k2, ir::Backend::Bytecode, nullptr);
   EXPECT_EQ(out1, out2) << "round-trip divergence: " << p.summary();
+
+  // Differential check: the tree-walking reference backend must produce
+  // bit-identical buffers and counters for the same launch.
+  const auto out_tree = run(k1, ir::Backend::Tree, &c_tree);
+  EXPECT_EQ(out1, out_tree) << "backend divergence: " << p.summary();
+  EXPECT_EQ(c_byte, c_tree) << "counter divergence: " << p.summary();
 
   Matrix<T> Cgot(M, N);
   unpack_c(out1, M, N, Cgot, M, N);

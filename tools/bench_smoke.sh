@@ -20,9 +20,12 @@ OUT_DIR="${OUT_DIR:-$BUILD_DIR/bench-smoke}"
 RTOL="${RTOL:-1e-4}"
 BASELINES=bench/baselines
 
-# Model-driven benches only: they finish in milliseconds and their numbers
-# are pure functions of the device tables, so the baselines are tight.
-SMOKE="table3_impl_vs_vendor fig9_tahiti fig10_nvidia smallsize_direct"
+# Model-driven benches (pure functions of the device tables, so the
+# baselines are tight) plus the micro benches, whose gated scalars are
+# deterministic pass/fail bits, dynamic counters and exact element sums —
+# wall-clock numbers live in the (uncompared) metrics section.
+SMOKE="table3_impl_vs_vendor fig9_tahiti fig10_nvidia smallsize_direct \
+micro_interp micro_layout"
 
 UPDATE=0
 if [[ "${1:-}" == "--update" ]]; then UPDATE=1; fi
@@ -35,7 +38,11 @@ for b in $SMOKE; do
     echo "error: $bin not built (build the repo first)" >&2
     exit 2
   fi
-  "$bin" --json "$OUT_DIR/$b.json" > "$OUT_DIR/$b.txt"
+  # The micro benches embed google-benchmark timing loops; a short
+  # min_time keeps the smoke fast (their gated scalars don't depend on it).
+  extra=""
+  case "$b" in micro_*) extra="--benchmark_min_time=0.05" ;; esac
+  "$bin" $extra --json "$OUT_DIR/$b.json" > "$OUT_DIR/$b.txt"
   if [[ "$UPDATE" == "1" ]]; then
     mkdir -p "$BASELINES"
     cp "$OUT_DIR/$b.json" "$BASELINES/$b.json"
