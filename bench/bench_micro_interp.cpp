@@ -1,14 +1,22 @@
 // Micro-benchmarks (google-benchmark): interpreter throughput on generated
-// GEMM kernels for both backends (bytecode VM vs the tree-walking
-// reference), and performance-model / search-engine evaluation rates (the
-// quantities that bound a full tuning run's wall-clock).
+// GEMM kernels for the interpreter backends (bytecode VM vs the
+// tree-walking reference, plus the native JIT in --native mode), and
+// performance-model / search-engine evaluation rates (the quantities that
+// bound a full tuning run's wall-clock).
 //
 // Besides the timed runs, main() performs a deterministic differential
-// check: both backends must produce bit-identical buffers and counters (at
+// check: all backends must produce bit-identical buffers and counters (at
 // several thread counts), and the bytecode backend must be at least 3x
-// faster single-threaded. The pass/fail bits and the dynamic counters are
-// recorded as scalars (gated against bench/baselines/micro_interp.json);
-// wall-clock numbers go to gauges, which the baseline gate never compares.
+// faster single-threaded than the tree walker. The pass/fail bits and the
+// dynamic counters are recorded as scalars (gated against
+// bench/baselines/micro_interp.json); wall-clock numbers go to gauges,
+// which the baseline gate never compares.
+//
+// With --native the bench becomes "micro_interp_native": it times the
+// native JIT backend too and gates a three-way differential plus the
+// native >= 3x-over-bytecode speedup bit against
+// bench/baselines/micro_interp_native.json. Without a usable host
+// toolchain the native run exits 3 so harnesses can skip it.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -20,6 +28,7 @@
 #include "codegen/paper_kernels.hpp"
 #include "common/rng.hpp"
 #include "kernelir/interp.hpp"
+#include "kernelir/native.hpp"
 #include "perfmodel/model.hpp"
 #include "simcl/runtime.hpp"
 
@@ -82,6 +91,9 @@ struct MicroLaunch {
 
 void BM_InterpretGemmKernel(benchmark::State& state, ir::Backend backend) {
   const MicroLaunch ml(state.range(0));
+  // Warm the compiled-program cache so a first-iteration JIT (native
+  // backend) or bytecode compile never lands inside the timing loop.
+  (void)ml.run(backend, 1);
   std::uint64_t mads = 0;
   for (auto _ : state) {
     const auto c = ml.run(backend, 1);
@@ -96,6 +108,9 @@ void BM_InterpTree(benchmark::State& s) {
 }
 void BM_InterpBytecode(benchmark::State& s) {
   BM_InterpretGemmKernel(s, ir::Backend::Bytecode);
+}
+void BM_InterpNative(benchmark::State& s) {
+  BM_InterpretGemmKernel(s, ir::Backend::Native);
 }
 
 BENCHMARK(BM_InterpTree)->Arg(32)->Arg(64);
@@ -180,6 +195,45 @@ void differential_check() {
                    1e3 * t_tree, 1e3 * t_byte));
 }
 
+/// --native mode: the native JIT joins the differential. All three
+/// backends must agree byte-for-byte (buffers and counters, serial and
+/// 4-thread native), and the JIT'd kernel must beat the bytecode VM by
+/// >= 3x single-threaded on the Table II micro shape.
+void native_differential_check() {
+  bench::section(
+      "Backend differential (native vs bytecode vs tree, Table II shape)");
+  const std::int64_t n = 64;
+  const MicroLaunch tree_ml(n);
+  const MicroLaunch byte_ml(n);
+  const MicroLaunch nat_ml(n);
+  const MicroLaunch nat4_ml(n);
+  const ir::Counters ct = tree_ml.run(ir::Backend::Tree, 1);
+  const ir::Counters cb = byte_ml.run(ir::Backend::Bytecode, 1);
+  const ir::Counters cn = nat_ml.run(ir::Backend::Native, 1);
+  const ir::Counters cn4 = nat4_ml.run(ir::Backend::Native, 4);
+  const auto same = [](const MicroLaunch& a, const MicroLaunch& b) {
+    return std::memcmp(a.dC->data(), b.dC->data(), a.dC->size()) == 0;
+  };
+  const bool buffers_equal = same(nat_ml, byte_ml) && same(nat_ml, tree_ml) &&
+                             same(nat_ml, nat4_ml);
+  const bool counters_equal = cn == cb && cn == ct && cn == cn4;
+  bench::scalar("interp.native_buffers_equal", buffers_equal ? 1 : 0);
+  bench::scalar("interp.native_counters_equal", counters_equal ? 1 : 0);
+  bench::scalar("interp.native_mads", static_cast<double>(cn.mads));
+  bench::scalar("interp.native_flops", static_cast<double>(cn.flops));
+
+  // Program cache is warm for both backends by now (the runs above).
+  const double t_byte = min_seconds(5, byte_ml, ir::Backend::Bytecode);
+  const double t_native = min_seconds(9, nat_ml, ir::Backend::Native);
+  const double speedup = t_byte / t_native;
+  trace::gauge_set("micro_interp.speedup_native_over_bytecode", speedup);
+  bench::scalar("interp.native_speedup_ge3x", speedup >= 3.0 ? 1 : 0);
+  bench::note(strf("buffers_equal=%d counters_equal=%d speedup=%.1fx "
+                   "(bytecode %.2f ms, native %.2f ms, single thread)",
+                   buffers_equal ? 1 : 0, counters_equal ? 1 : 0, speedup,
+                   1e3 * t_byte, 1e3 * t_native));
+}
+
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN(): records each benchmark's
@@ -203,12 +257,33 @@ class CaptureReporter : public benchmark::ConsoleReporter {
 }  // namespace
 
 int main(int argc, char** argv) {
-  gemmtune::bench::init("micro_interp", &argc, argv);
+  bool native_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--native") {
+      native_mode = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  gemmtune::bench::init(native_mode ? "micro_interp_native" : "micro_interp",
+                        &argc, argv);
+  if (native_mode && !ir::native_toolchain_available()) {
+    std::printf("no usable host toolchain; native differential skipped\n");
+    return 3;  // harnesses (tools/bench_smoke.sh) treat 3 as "skip"
+  }
+  if (native_mode)
+    benchmark::RegisterBenchmark("BM_InterpNative", BM_InterpNative)
+        ->Arg(32)
+        ->Arg(64);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   CaptureReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
-  differential_check();
+  if (native_mode)
+    native_differential_check();
+  else
+    differential_check();
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "codegen/gemm_generator.hpp"
 #include "codegen/paper_kernels.hpp"
 #include "common/error.hpp"
+#include "common/keyval.hpp"
 #include "common/rng.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
@@ -18,6 +19,7 @@
 #include "dist/executor.hpp"
 #include "kernelir/emit.hpp"
 #include "kernelir/interp.hpp"
+#include "kernelir/native.hpp"
 #include "layout/matrix.hpp"
 #include "serve/server.hpp"
 #include "serve/workload.hpp"
@@ -383,14 +385,21 @@ int cmd_dist(const std::vector<std::string>& args, std::ostream& out) {
 }
 
 int usage(std::ostream& out) {
-  out << "usage: gemmtune [--threads N] [--interp B] [--trace FILE] "
-         "[--metrics FILE] <command> [args]\n"
+  out << "usage: gemmtune [--threads N] [--interp B] [--jit-cache-dir D]\n"
+         "                [--trace FILE] [--metrics FILE] <command> [args]\n"
          "options:\n"
          "  --threads N     worker threads for tuning and kernel\n"
          "                  interpretation (default: GEMMTUNE_THREADS if\n"
          "                  set, else all hardware threads)\n"
-         "  --interp B      kernel interpreter backend: bytecode (default)\n"
-         "                  or tree (reference; also GEMMTUNE_INTERP)\n"
+         "  --interp B      kernel interpreter backend: bytecode (default),\n"
+         "                  tree (reference) or native (JIT to a shared\n"
+         "                  object via the host C++ compiler, falling back\n"
+         "                  to bytecode when no toolchain is available;\n"
+         "                  also GEMMTUNE_INTERP)\n"
+         "  --jit-cache-dir D\n"
+         "                  persistent directory for native-backend shared\n"
+         "                  objects (also GEMMTUNE_JIT_CACHE); warm starts\n"
+         "                  dlopen cached objects without a compiler\n"
          "  --trace FILE    write a Chrome trace-event JSON timeline\n"
          "  --metrics FILE  write aggregated metrics JSON (span durations,\n"
          "                  counters, gauges, cache hit rates)\n"
@@ -443,8 +452,10 @@ void set_interp_backend(const std::string& value) {
     ir::set_backend_override(ir::Backend::Tree);
   } else if (value == "bytecode") {
     ir::set_backend_override(ir::Backend::Bytecode);
+  } else if (value == "native") {
+    ir::set_backend_override(ir::Backend::Native);
   } else {
-    fail("--interp expects 'tree' or 'bytecode', got '" + value + "'");
+    fail_unknown_value("--interp", value, {"tree", "bytecode", "native"});
   }
 }
 
@@ -470,6 +481,13 @@ int run(const std::vector<std::string>& args, std::ostream& out) {
         first += 2;
       } else if (flag.starts_with("--interp=")) {
         set_interp_backend(flag.substr(9));
+        first += 1;
+      } else if (flag == "--jit-cache-dir") {
+        check(first + 1 < args.size(), "--jit-cache-dir requires a value");
+        ir::set_jit_cache_dir(args[first + 1]);
+        first += 2;
+      } else if (flag.starts_with("--jit-cache-dir=")) {
+        ir::set_jit_cache_dir(flag.substr(16));
         first += 1;
       } else if (flag == "--trace" || flag == "--metrics") {
         check(first + 1 < args.size(), flag + " requires a file path");

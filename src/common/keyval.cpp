@@ -22,14 +22,27 @@ std::vector<KeyValue> parse_keyval_spec(const std::string& text,
   return out;
 }
 
-void fail_unknown_key(const std::string& context, const std::string& key,
-                      const std::vector<std::string>& allowed) {
+namespace {
+std::string allowed_list(const std::vector<std::string>& allowed) {
   std::string list;
   for (const std::string& a : allowed) {
     if (!list.empty()) list += ", ";
     list += a;
   }
-  fail(context + ": unknown key '" + key + "' (use " + list + ")");
+  return list;
+}
+}  // namespace
+
+void fail_unknown_key(const std::string& context, const std::string& key,
+                      const std::vector<std::string>& allowed) {
+  fail(context + ": unknown key '" + key + "' (use " + allowed_list(allowed) +
+       ")");
+}
+
+void fail_unknown_value(const std::string& context, const std::string& value,
+                        const std::vector<std::string>& allowed) {
+  fail(context + ": unknown value '" + value + "' (use " +
+       allowed_list(allowed) + ")");
 }
 
 }  // namespace gemmtune

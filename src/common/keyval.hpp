@@ -33,4 +33,12 @@ std::vector<KeyValue> parse_keyval_spec(const std::string& text,
                                    const std::string& key,
                                    const std::vector<std::string>& allowed);
 
+/// Throws gemmtune::Error: "<context>: unknown value '<value>' (use a, b,
+/// c)". The enumerated-value counterpart of fail_unknown_key, for options
+/// (CLI flags, environment variables) whose value must come from a fixed
+/// set.
+[[noreturn]] void fail_unknown_value(const std::string& context,
+                                     const std::string& value,
+                                     const std::vector<std::string>& allowed);
+
 }  // namespace gemmtune

@@ -139,6 +139,9 @@ struct CompiledKernel {
 
 using CompiledKernelPtr = std::shared_ptr<const CompiledKernel>;
 
+class NativeKernel;  // native.hpp: a dlopen'd JIT-compiled kernel
+using NativeKernelPtr = std::shared_ptr<const NativeKernel>;
+
 /// Lowers `kernel` to bytecode. Deterministic; throws gemmtune::Error only
 /// on IR that the builders cannot produce (malformed-but-reachable
 /// constructs lower to runtime Throw instructions so dead code stays
@@ -152,7 +155,29 @@ std::string serialize_kernel(const Kernel& kernel);
 /// Thread-safe process-wide compiled-program cache keyed by
 /// serialize_kernel(). Compiles outside the lock on a miss (first insert
 /// wins). Traces interp.cache_hit / interp.cache_miss / interp.compile.
+/// The cache is LRU-bounded: at most GEMMTUNE_PROGRAM_CACHE_MAX entries
+/// (default 256, minimum 1); evictions bump interp.cache_evict. One entry
+/// holds both the bytecode program and, when the native backend has run,
+/// its dlopen'd shared object (or a sticky per-kernel native failure so
+/// the JIT compiler isn't re-invoked every launch).
 CompiledKernelPtr get_or_compile(const Kernel& kernel);
+
+/// Native-backend slot of a cache entry (see native.hpp for the producer).
+struct NativeSlot {
+  NativeKernelPtr kernel;  ///< null when absent or failed
+  bool failed = false;     ///< sticky: native compile failed for this key
+  bool present = false;    ///< a native outcome (either way) is recorded
+};
+
+/// Reads / publishes the native slot for a serialized-kernel key. Stores
+/// follow first-insert-wins like get_or_compile; storing refreshes the
+/// entry's LRU position. Both are thread-safe.
+NativeSlot native_cache_lookup(const std::string& key);
+NativeKernelPtr native_cache_store(const std::string& key,
+                                   NativeKernelPtr kernel, bool failed);
+
+/// Overrides the entry cap (tests); 0 restores the environment default.
+void set_program_cache_max(std::size_t cap);
 
 /// Entries currently cached / drop all entries (tests and benchmarks).
 std::size_t compiled_cache_size();

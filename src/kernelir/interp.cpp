@@ -6,9 +6,11 @@
 #include <optional>
 
 #include "common/error.hpp"
+#include "common/keyval.hpp"
 #include "common/strings.hpp"
 #include "common/thread_pool.hpp"
 #include "kernelir/compile.hpp"
+#include "kernelir/native.hpp"
 #include "kernelir/vm.hpp"
 #include "trace/trace.hpp"
 
@@ -502,8 +504,10 @@ Backend resolve_backend(Backend requested) {
   if (o != Backend::Auto) return o;
   if (const char* env = std::getenv("GEMMTUNE_INTERP")) {
     if (std::strcmp(env, "tree") == 0) return Backend::Tree;
-    check(std::strcmp(env, "bytecode") == 0,
-          "GEMMTUNE_INTERP must be \"tree\" or \"bytecode\"");
+    if (std::strcmp(env, "bytecode") == 0) return Backend::Bytecode;
+    if (std::strcmp(env, "native") == 0) return Backend::Native;
+    fail_unknown_value("GEMMTUNE_INTERP", env,
+                       {"tree", "bytecode", "native"});
   }
   return Backend::Bytecode;
 }
@@ -514,11 +518,23 @@ Counters launch_with_backend(const Kernel& kernel,
                              const std::vector<ArgValue>& args, int threads,
                              Backend backend) {
   trace::Span launch_span("interp.launch");
-  const Backend be = resolve_backend(backend);
+  Backend be = resolve_backend(backend);
   // Validate once on the calling thread before any fan-out; workers share
-  // the immutable plan and only allocate scratch.
+  // the immutable plan and only allocate scratch. The plan is built before
+  // any JIT work so malformed launches throw identically on every backend
+  // without ever invoking the host compiler.
   const LaunchPlan plan(kernel, global, local, args);
   const std::int64_t ngroups = plan.ngroups;
+  NativeKernelPtr native;
+  if (be == Backend::Native) {
+    std::string why;
+    native = get_or_compile_native(kernel, &why);
+    if (!native) {
+      if (trace::enabled()) trace::counter_add("interp.native_fallback", 1);
+      warn_native_fallback(why);
+      be = Backend::Bytecode;
+    }
+  }
   CompiledKernelPtr prog;
   if (be == Backend::Bytecode) prog = get_or_compile(kernel);
 
@@ -528,7 +544,9 @@ Counters launch_with_backend(const Kernel& kernel,
 
   Counters total;
   if (pool.size() == 1 || ngroups < 2) {
-    if (prog) {
+    if (native) {
+      total = native_run_range(*native, plan, 0, ngroups);
+    } else if (prog) {
       VmMachine vm(*prog, plan);
       total = vm.run_range(0, ngroups);
     } else {
@@ -540,12 +558,14 @@ Counters launch_with_backend(const Kernel& kernel,
     // (work-item registers, private/local arrays, counters) lives in that
     // worker's Machine, and the counter sums are order-independent, so
     // results and counters are identical to the serial run for any thread
-    // count — and for either backend.
+    // count — and for any backend.
     std::vector<Counters> partial(static_cast<std::size_t>(pool.size()));
     pool.parallel_for(ngroups,
                       [&](std::int64_t begin, std::int64_t end, int worker) {
                         Counters c;
-                        if (prog) {
+                        if (native) {
+                          c = native_run_range(*native, plan, begin, end);
+                        } else if (prog) {
                           VmMachine vm(*prog, plan);
                           c = vm.run_range(begin, end);
                         } else {

@@ -63,11 +63,15 @@ struct Counters {
 /// Interpreter backend. `Bytecode` compiles the kernel to a flat register
 /// program via a process-wide compiled-kernel cache (compile.hpp) and runs
 /// it on the VM (vm.hpp); `Tree` walks the expression tree directly and is
-/// kept as the reference semantics. Both produce bit-identical buffers and
-/// counters at any thread count. `Auto` resolves, in priority order: the
-/// process-wide override (the CLI --interp flag), the GEMMTUNE_INTERP
-/// environment variable ("tree" / "bytecode"), then Bytecode.
-enum class Backend { Auto, Tree, Bytecode };
+/// kept as the reference semantics; `Native` JIT-compiles the bytecode to
+/// a specialized C++ shared object via the host toolchain (native.hpp) and
+/// falls back to Bytecode — with an interp.native_fallback counter and a
+/// one-line warning naming the cause — when no toolchain or cache object
+/// is usable. All backends produce bit-identical buffers and counters at
+/// any thread count. `Auto` resolves, in priority order: the process-wide
+/// override (the CLI --interp flag), the GEMMTUNE_INTERP environment
+/// variable ("tree" / "bytecode" / "native"), then Bytecode.
+enum class Backend { Auto, Tree, Bytecode, Native };
 
 /// Sets the process-wide backend override (Auto clears it).
 void set_backend_override(Backend b);

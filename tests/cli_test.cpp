@@ -3,14 +3,17 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "cli/cli.hpp"
 #include "codegen/gemm_generator.hpp"
 #include "codegen/paper_kernels.hpp"
+#include "kernelir/compile.hpp"
 #include "kernelir/emit.hpp"
 #include "kernelir/interp.hpp"
+#include "kernelir/native.hpp"
 
 namespace gemmtune {
 namespace {
@@ -108,8 +111,9 @@ TEST(Cli, VerifyPassesAndBoundsSizes) {
 }
 
 TEST(Cli, InterpFlagSelectsBackend) {
-  // Both backends must verify successfully; bad values are rejected
-  // before any command runs.
+  // Every backend must verify successfully; bad values are rejected
+  // before any command runs, with a keyval-style error naming the value
+  // and the allowed set.
   auto [rc1, out1] =
       run_cli({"--interp", "tree", "verify", "Tahiti", "DGEMM", "40", "30",
                "20"});
@@ -120,11 +124,42 @@ TEST(Cli, InterpFlagSelectsBackend) {
                "20"});
   EXPECT_EQ(rc2, 0) << out2;
   EXPECT_EQ(ir::resolve_backend(ir::Backend::Auto), ir::Backend::Bytecode);
+  // The native backend must run every verb too — with no toolchain it
+  // falls back to bytecode, so this passes on any machine.
+  auto [rc4, out4] =
+      run_cli({"--interp=native", "verify", "Tahiti", "DGEMM", "40", "30",
+               "20"});
+  EXPECT_EQ(rc4, 0) << out4;
+  EXPECT_EQ(ir::resolve_backend(ir::Backend::Auto), ir::Backend::Native);
   auto [rc3, out3] = run_cli({"--interp", "jit", "devices"});
   EXPECT_EQ(rc3, 1);
-  EXPECT_NE(out3.find("--interp expects 'tree' or 'bytecode'"),
-            std::string::npos);
+  EXPECT_NE(
+      out3.find("--interp: unknown value 'jit' (use tree, bytecode, native)"),
+      std::string::npos)
+      << out3;
   ir::set_backend_override(ir::Backend::Auto);
+}
+
+TEST(Cli, JitCacheDirFlagPopulatesCache) {
+  // --jit-cache-dir points the native backend's .so cache at a directory;
+  // with a toolchain present a native verify leaves an object behind.
+  const std::string dir = ::testing::TempDir() + "cli_jit_cache";
+  std::system(("rm -rf " + dir).c_str());
+  // Earlier tests may have native-compiled the same kernel into the
+  // process-wide cache; clear it so this launch must go through the JIT
+  // (and hence the cache directory) again.
+  ir::compiled_cache_clear();
+  auto [rc, out] = run_cli({"--interp=native", "--jit-cache-dir", dir,
+                            "verify", "Tahiti", "DGEMM", "24", "16", "8"});
+  EXPECT_EQ(rc, 0) << out;
+  if (ir::native_toolchain_available()) {
+    EXPECT_EQ(std::system(
+                  ("ls " + dir + "/gemmtune-*.so >/dev/null 2>&1").c_str()),
+              0);
+  }
+  ir::set_jit_cache_dir("");
+  ir::set_backend_override(ir::Backend::Auto);
+  std::system(("rm -rf " + dir).c_str());
 }
 
 TEST(Cli, ServeThenReplayMatches) {

@@ -14,6 +14,7 @@
 #include "common/rng.hpp"
 #include "kernelir/emit.hpp"
 #include "kernelir/interp.hpp"
+#include "kernelir/native.hpp"
 #include "layout/packing.hpp"
 #include "simcl/device_registry.hpp"
 
@@ -121,6 +122,20 @@ void check_kernel_properties(const KernelParams& p, std::uint64_t seed) {
   const auto out_tree = run(k1, ir::Backend::Tree, &c_tree);
   EXPECT_EQ(out1, out_tree) << "backend divergence: " << p.summary();
   EXPECT_EQ(c_byte, c_tree) << "counter divergence: " << p.summary();
+
+  // Native leg: each distinct kernel costs one host-compiler invocation
+  // (~1s), so only the first few fuzzed shapes run it — enough to catch an
+  // emitter divergence across the random parameter space without blowing
+  // up the suite's runtime.
+  static int native_budget = 8;
+  if (native_budget > 0 && ir::native_toolchain_available()) {
+    --native_budget;
+    ir::Counters c_native;
+    const auto out_native = run(k1, ir::Backend::Native, &c_native);
+    EXPECT_EQ(out1, out_native) << "native divergence: " << p.summary();
+    EXPECT_EQ(c_byte, c_native)
+        << "native counter divergence: " << p.summary();
+  }
 
   Matrix<T> Cgot(M, N);
   unpack_c(out1, M, N, Cgot, M, N);

@@ -1,0 +1,251 @@
+// Tests for the native JIT backend's machinery (native.hpp) and the
+// LRU-bounded program cache (compile.hpp): emitter determinism, the
+// on-disk .so cache round-trip (a warm start needs no compiler at all),
+// graceful fallback to bytecode when no toolchain is usable, read-only
+// cache-dir handling, and cache eviction under GEMMTUNE_PROGRAM_CACHE_MAX.
+// Semantic equivalence of the native backend (buffers, counters, error
+// parity) lives in vm_test.cpp's three-way differentials and
+// fuzz_codegen_test.cpp.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "kernelir/compile.hpp"
+#include "kernelir/interp.hpp"
+#include "kernelir/kernel.hpp"
+#include "kernelir/native.hpp"
+#include "simcl/runtime.hpp"
+#include "trace/trace.hpp"
+
+namespace gemmtune::ir {
+namespace {
+
+// Restores every piece of process-wide state a test may touch: the JIT
+// probe/dir, the backend override, the program cache and its cap, and the
+// environment knobs.
+class NativeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { reset_all(); }
+  void TearDown() override {
+    unsetenv("GEMMTUNE_JIT_CXX");
+    unsetenv("GEMMTUNE_JIT_CACHE");
+    reset_all();
+    trace::set_enabled(false);
+  }
+  static void reset_all() {
+    set_jit_cache_dir("");
+    reset_native_probe();
+    set_backend_override(Backend::Auto);
+    set_program_cache_max(0);
+    compiled_cache_clear();
+  }
+};
+
+std::string make_temp_dir() {
+  std::string tmpl = ::testing::TempDir() + "native-test-XXXXXX";
+  std::vector<char> buf(tmpl.begin(), tmpl.end());
+  buf.push_back('\0');
+  const char* d = ::mkdtemp(buf.data());
+  EXPECT_NE(d, nullptr);
+  return d != nullptr ? d : "";
+}
+
+int count_shared_objects(const std::string& dir) {
+  int n = 0;
+  std::string cmd = "ls " + dir + "/gemmtune-*.so >/dev/null 2>&1";
+  if (std::system(cmd.c_str()) == 0) {
+    // Count via a shell glob so the test has no directory-walk helper.
+    FILE* p = ::popen(("ls " + dir + " | grep -c '\\.so$'").c_str(), "r");
+    if (p != nullptr) {
+      char line[32] = {0};
+      if (std::fgets(line, sizeof line, p) != nullptr) n = std::atoi(line);
+      ::pclose(p);
+    }
+  }
+  return n;
+}
+
+/// A small kernel parameterized by `salt` so each value compiles to a
+/// distinct cache entry: out[gid] = a[gid] * salt + gid.
+Kernel salted_kernel(int salt) {
+  const Type t1 = fp(Scalar::F64, 1);
+  KernelBuilder b("salted", Scalar::F64);
+  b.add_arg("out", ArgKind::GlobalPtr, Scalar::F64);
+  b.add_arg("a", ArgKind::GlobalConstPtr, Scalar::F64);
+  const int gid = b.decl_var("gid", i32());
+  b.append(assign(gid, builtin(BuiltinFn::GlobalId, 0)));
+  b.append(store_global(
+      0, b.ref(gid),
+      bin(BinOp::FMul, load_global(1, b.ref(gid), t1),
+          fconst(static_cast<double>(salt), t1))));
+  return b.build();
+}
+
+struct LaunchSetup {
+  std::vector<simcl::BufferPtr> bufs;
+  std::vector<ArgValue> args;
+};
+
+LaunchSetup salted_args(int n) {
+  LaunchSetup s;
+  auto out = std::make_shared<simcl::Buffer>(
+      static_cast<std::size_t>(n) * sizeof(double));
+  auto a = std::make_shared<simcl::Buffer>(
+      static_cast<std::size_t>(n) * sizeof(double));
+  for (int j = 0; j < n; ++j) a->as<double>()[j] = 0.5 * j - 1.0;
+  s.bufs = {out, a};
+  s.args = {ArgValue::of(out), ArgValue::of(a)};
+  return s;
+}
+
+std::vector<double> run_salted(int salt, Backend be) {
+  const Kernel k = salted_kernel(salt);
+  LaunchSetup s = salted_args(8);
+  launch_with_backend(k, {8, 1}, {4, 1}, s.args, 1, be);
+  const double* p = s.bufs[0]->as<double>();
+  return std::vector<double>(p, p + 8);
+}
+
+std::uint64_t trace_counter(const char* name) {
+  const Json m = trace::metrics_json();
+  const Json& c = m.at("counters");
+  if (!c.contains(name)) return 0;
+  return static_cast<std::uint64_t>(c.at(name).as_int());
+}
+
+// ---- emitter ---------------------------------------------------------------
+
+TEST_F(NativeTest, EmitterIsDeterministicAndSelfContained) {
+  const Kernel k = salted_kernel(3);
+  const CompiledKernelPtr prog = compile(k);
+  const std::string src1 = emit_native_source(k, *prog);
+  const std::string src2 = emit_native_source(k, *prog);
+  EXPECT_EQ(src1, src2);
+  // The TU must export the versioned entry symbol and include nothing
+  // beyond the C standard headers it spells out.
+  EXPECT_NE(src1.find(kNativeEntrySymbol), std::string::npos);
+  EXPECT_NE(src1.find("extern \"C\""), std::string::npos);
+  EXPECT_EQ(src1.find("#include \""), std::string::npos);
+}
+
+// ---- JIT + disk cache ------------------------------------------------------
+
+TEST_F(NativeTest, DiskCacheRoundTripSkipsCompilerOnWarmStart) {
+  if (!native_toolchain_available()) GTEST_SKIP() << "no host toolchain";
+  const std::string dir = make_temp_dir();
+  set_jit_cache_dir(dir);
+
+  const std::vector<double> cold = run_salted(7, Backend::Native);
+  EXPECT_EQ(count_shared_objects(dir), 1);
+
+  // Warm start: fresh program cache, *broken* compiler. The cached .so
+  // must carry the launch without any fallback.
+  compiled_cache_clear();
+  setenv("GEMMTUNE_JIT_CXX", "/nonexistent-compiler", 1);
+  reset_native_probe();
+  trace::reset();
+  trace::set_enabled(true);
+  const std::vector<double> warm = run_salted(7, Backend::Native);
+  EXPECT_EQ(warm, cold);
+  EXPECT_EQ(trace_counter("interp.native_fallback"), 0u);
+  EXPECT_GE(trace_counter("interp.native_disk_hits"), 1u);
+  EXPECT_EQ(trace_counter("interp.native_compiles"), 0u);
+}
+
+TEST_F(NativeTest, NativeMatchesBytecodeBuffers) {
+  if (!native_toolchain_available()) GTEST_SKIP() << "no host toolchain";
+  EXPECT_EQ(run_salted(5, Backend::Native), run_salted(5, Backend::Bytecode));
+}
+
+// ---- fallback --------------------------------------------------------------
+
+TEST_F(NativeTest, FallsBackToBytecodeWithoutToolchain) {
+  // Simulate a machine with no usable compiler: GEMMTUNE_JIT_CXX is
+  // consulted exclusively when set, and this one cannot run.
+  setenv("GEMMTUNE_JIT_CXX", "/nonexistent-compiler", 1);
+  reset_native_probe();
+  EXPECT_FALSE(native_toolchain_available());
+
+  trace::reset();
+  trace::set_enabled(true);
+  const std::vector<double> via_native = run_salted(9, Backend::Native);
+  EXPECT_EQ(via_native, run_salted(9, Backend::Bytecode));
+  EXPECT_GE(trace_counter("interp.native_fallback"), 1u);
+}
+
+TEST_F(NativeTest, ReadOnlyCacheDirStillRunsNatively) {
+  if (!native_toolchain_available()) GTEST_SKIP() << "no host toolchain";
+  if (::geteuid() == 0) GTEST_SKIP() << "root ignores directory modes";
+  const std::string dir = make_temp_dir();
+  ASSERT_EQ(::chmod(dir.c_str(), 0555), 0);
+  set_jit_cache_dir(dir);
+  trace::reset();
+  trace::set_enabled(true);
+  // The unwritable persistent dir is skipped in favour of the process
+  // temp dir; the launch still runs natively (no fallback) and nothing
+  // lands in the read-only directory.
+  const std::vector<double> got = run_salted(11, Backend::Native);
+  EXPECT_EQ(trace_counter("interp.native_fallback"), 0u);
+  EXPECT_EQ(count_shared_objects(dir), 0);
+  ::chmod(dir.c_str(), 0755);
+  EXPECT_EQ(got, run_salted(11, Backend::Bytecode));
+}
+
+TEST_F(NativeTest, FailureIsStickyPerKernel) {
+  setenv("GEMMTUNE_JIT_CXX", "/nonexistent-compiler", 1);
+  reset_native_probe();
+  const Kernel k = salted_kernel(13);
+  std::string why1, why2;
+  EXPECT_EQ(get_or_compile_native(k, &why1), nullptr);
+  EXPECT_FALSE(why1.empty());
+  // The second call answers from the cache without re-probing.
+  EXPECT_EQ(get_or_compile_native(k, &why2), nullptr);
+  EXPECT_EQ(why2, "native compilation previously failed");
+}
+
+// ---- LRU-bounded program cache ---------------------------------------------
+
+TEST_F(NativeTest, ProgramCacheEvictsLeastRecentlyUsed) {
+  set_program_cache_max(8);
+  trace::reset();
+  trace::set_enabled(true);
+  // A fuzzing-style stream of distinct kernels must not grow the cache
+  // beyond the cap no matter how many shapes flow through.
+  for (int salt = 1; salt <= 300; ++salt) {
+    run_salted(salt, Backend::Bytecode);
+    ASSERT_LE(compiled_cache_size(), 8u) << "salt " << salt;
+  }
+  EXPECT_EQ(compiled_cache_size(), 8u);
+  EXPECT_GE(trace_counter("interp.cache_evict"), 292u);
+
+  // Recency: re-touch salt 300 (the newest), then push 7 fresh kernels —
+  // 300 must survive; salt 294 (the oldest of the final eight) must not.
+  run_salted(300, Backend::Bytecode);
+  const std::uint64_t misses_before = trace_counter("interp.cache_miss");
+  for (int salt = 301; salt <= 307; ++salt)
+    run_salted(salt, Backend::Bytecode);
+  run_salted(300, Backend::Bytecode);  // still cached -> no new miss
+  EXPECT_EQ(trace_counter("interp.cache_miss"), misses_before + 7);
+  run_salted(294, Backend::Bytecode);  // evicted -> recompiles
+  EXPECT_EQ(trace_counter("interp.cache_miss"), misses_before + 8);
+}
+
+TEST_F(NativeTest, ShrinkingCapEvictsImmediately) {
+  set_program_cache_max(16);
+  for (int salt = 1; salt <= 12; ++salt)
+    run_salted(salt, Backend::Bytecode);
+  EXPECT_EQ(compiled_cache_size(), 12u);
+  set_program_cache_max(4);
+  EXPECT_LE(compiled_cache_size(), 4u);
+}
+
+}  // namespace
+}  // namespace gemmtune::ir

@@ -1,8 +1,12 @@
 // Differential tests for the bytecode interpreter backend (compile.hpp /
-// vm.hpp) against the tree-walking reference backend: identical buffers and
-// counters for well-formed launches at any thread count, identical error
-// messages (modulo the source-location prefix) for malformed ones, backend
-// resolution precedence, and the process-wide compiled-program cache.
+// vm.hpp) and the native JIT backend (native.hpp) against the tree-walking
+// reference backend: identical buffers and counters for well-formed
+// launches at any thread count, identical error messages (modulo the
+// source-location prefix) for malformed ones, backend resolution
+// precedence, and the process-wide compiled-program cache. The native legs
+// run whenever a host toolchain answers the probe (CI always has one);
+// without a toolchain they are skipped, not failed — that machine's
+// fallback behaviour has its own test in native_test.cpp.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -16,6 +20,7 @@
 #include "kernelir/compile.hpp"
 #include "kernelir/interp.hpp"
 #include "kernelir/kernel.hpp"
+#include "kernelir/native.hpp"
 #include "simcl/runtime.hpp"
 
 namespace gemmtune::ir {
@@ -63,7 +68,8 @@ RunResult run_one(const Kernel& k, std::array<std::int64_t, 2> global,
   return r;
 }
 
-/// Runs tree(1 thread), bytecode(1 thread), bytecode(4 threads) and checks
+/// Runs tree(1 thread), bytecode(1 thread), bytecode(4 threads) — plus
+/// native(1) and native(4) when a host toolchain is available — and checks
 /// the differential contract. Buffer contents after a throw are
 /// unspecified, so they are only compared on success.
 void expect_equivalent(const Kernel& k, std::array<std::int64_t, 2> global,
@@ -83,6 +89,19 @@ void expect_equivalent(const Kernel& k, std::array<std::int64_t, 2> global,
     EXPECT_EQ(tree.counters, byte1.counters) << k.name;
     EXPECT_EQ(byte1.bytes, byte4.bytes) << k.name;
     EXPECT_EQ(byte1.counters, byte4.counters) << k.name;
+  }
+  if (!native_toolchain_available()) return;
+  const RunResult nat1 = run_one(k, global, local, make, Backend::Native, 1);
+  const RunResult nat4 = run_one(k, global, local, make, Backend::Native, 4);
+  EXPECT_EQ(tree.threw, nat1.threw) << k.name << " (native)";
+  EXPECT_EQ(tree.message, nat1.message) << k.name << " (native)";
+  EXPECT_EQ(nat1.threw, nat4.threw) << k.name << " (native)";
+  EXPECT_EQ(nat1.message, nat4.message) << k.name << " (native)";
+  if (!tree.threw && !nat1.threw) {
+    EXPECT_EQ(tree.bytes, nat1.bytes) << k.name << " (native)";
+    EXPECT_EQ(tree.counters, nat1.counters) << k.name << " (native)";
+    EXPECT_EQ(nat1.bytes, nat4.bytes) << k.name << " (native)";
+    EXPECT_EQ(nat1.counters, nat4.counters) << k.name << " (native)";
   }
 }
 
@@ -421,6 +440,8 @@ TEST(VmBackend, ResolutionPrecedence) {
   EXPECT_EQ(resolve_backend(Backend::Auto), Backend::Tree);
   setenv("GEMMTUNE_INTERP", "bytecode", 1);
   EXPECT_EQ(resolve_backend(Backend::Auto), Backend::Bytecode);
+  setenv("GEMMTUNE_INTERP", "native", 1);
+  EXPECT_EQ(resolve_backend(Backend::Auto), Backend::Native);
 
   // The process-wide override (the CLI flag) beats the environment...
   setenv("GEMMTUNE_INTERP", "bytecode", 1);
@@ -437,7 +458,8 @@ TEST(VmBackend, ResolutionPrecedence) {
     FAIL() << "expected Error";
   } catch (const Error& e) {
     EXPECT_EQ(strip_loc(e.what()),
-              "GEMMTUNE_INTERP must be \"tree\" or \"bytecode\"");
+              "GEMMTUNE_INTERP: unknown value 'nonsense' "
+              "(use tree, bytecode, native)");
   }
   // An explicit backend never consults the (invalid) environment.
   EXPECT_EQ(resolve_backend(Backend::Tree), Backend::Tree);

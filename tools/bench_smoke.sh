@@ -53,6 +53,40 @@ for b in $SMOKE; do
   fi
 done
 
+# Native-backend leg: re-run the micro_interp bench in --native mode. It
+# JITs the Table II kernel through the host toolchain into a fresh
+# GEMMTUNE_JIT_CACHE directory (so the .so landing there proves the disk
+# cache works end to end) and gates the three-way differential bits plus
+# the native >= 3x-over-bytecode speedup bit against
+# micro_interp_native.json. The bench exits 3 when no usable host
+# compiler exists; that skips the leg instead of failing it.
+NATIVE_CACHE="$OUT_DIR/jit-cache"
+rm -rf "$NATIVE_CACHE"
+mkdir -p "$NATIVE_CACHE"
+native_rc=0
+GEMMTUNE_JIT_CACHE="$NATIVE_CACHE" "$BUILD_DIR/bench/bench_micro_interp" \
+  --native --benchmark_min_time=0.05 \
+  --json "$OUT_DIR/micro_interp_native.json" \
+  > "$OUT_DIR/micro_interp_native.txt" || native_rc=$?
+if [[ "$native_rc" == "3" ]]; then
+  echo "[micro_interp_native] skipped: no usable host toolchain"
+elif [[ "$native_rc" != "0" ]]; then
+  echo "error: bench_micro_interp --native failed (rc $native_rc)" >&2
+  status=1
+else
+  if ! ls "$NATIVE_CACHE"/gemmtune-*.so >/dev/null 2>&1; then
+    echo "[micro_interp_native] no .so landed in GEMMTUNE_JIT_CACHE" >&2
+    status=1
+  fi
+  if [[ "$UPDATE" == "1" ]]; then
+    cp "$OUT_DIR/micro_interp_native.json" "$BASELINES/micro_interp_native.json"
+    echo "[micro_interp_native] baseline updated"
+  else
+    python3 tools/compare_bench.py "$BASELINES/micro_interp_native.json" \
+      "$OUT_DIR/micro_interp_native.json" --rtol "$RTOL" || status=1
+  fi
+fi
+
 if [[ "$UPDATE" == "0" && "$status" != "0" ]]; then
   echo "bench smoke: regressions detected (see above)" >&2
 fi
