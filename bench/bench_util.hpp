@@ -31,9 +31,12 @@
 
 #include "common/json.hpp"
 #include "common/report_version.hpp"
+#include "common/runmeta.hpp"
 #include "common/stats.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "kernelir/interp.hpp"
 #include "trace/trace.hpp"
 
 namespace gemmtune::bench {
@@ -59,6 +62,12 @@ inline void write_report() {
   Json doc = Json::object();
   doc["schema"] = kBenchReportSchema;
   doc["bench"] = r.name;
+  // The uniform run-identity block `gemmtune bench-db ingest` keys on:
+  // every bench emits it, so no ingest ever has to guess the backend or
+  // thread count of a result.
+  doc["meta"] = run_meta_json(
+      ir::to_string(ir::resolve_backend(ir::Backend::Auto)),
+      configured_threads());
   doc["comparisons"] = r.comparisons;
   doc["series"] = r.series_doc;
   doc["scalars"] = r.scalars;

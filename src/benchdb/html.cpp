@@ -1,0 +1,128 @@
+// Self-contained HTML trend report: one table row per metric series with
+// an inline-SVG sparkline over the commit trajectory. No external
+// resources (CI uploads the file as a standalone artifact) and
+// byte-deterministic for a given database, so reports diff cleanly.
+#include <cmath>
+#include <fstream>
+
+#include "benchdb/benchdb.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace gemmtune::benchdb {
+
+namespace {
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '&') out += "&amp;";
+    else if (c == '<') out += "&lt;";
+    else if (c == '>') out += "&gt;";
+    else out += c;
+  }
+  return out;
+}
+
+/// 2px polyline scaled into a fixed viewBox, plus an 8px end marker on
+/// the latest value. Fixed-precision coordinates keep the file
+/// deterministic.
+std::string sparkline_svg(const std::vector<double>& values) {
+  const double w = 160, h = 36, pad = 5;
+  double lo = values[0], hi = values[0];
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double span = hi > lo ? hi - lo : 1;
+  auto x = [&](std::size_t i) {
+    return values.size() > 1
+               ? pad + (w - 2 * pad) * static_cast<double>(i) /
+                     static_cast<double>(values.size() - 1)
+               : w / 2;
+  };
+  auto y = [&](double v) { return h - pad - (h - 2 * pad) * (v - lo) / span; };
+  std::string pts;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!pts.empty()) pts += ' ';
+    pts += strf("%.2f,%.2f", x(i), y(values[i]));
+  }
+  std::string svg = strf(
+      "<svg viewBox=\"0 0 %.0f %.0f\" width=\"%.0f\" height=\"%.0f\" "
+      "role=\"img\" aria-label=\"trend over %zu commits\">",
+      w, h, w, h, values.size());
+  svg += "<polyline fill=\"none\" stroke=\"var(--series-1)\" "
+         "stroke-width=\"2\" stroke-linejoin=\"round\" "
+         "stroke-linecap=\"round\" points=\"" + pts + "\"/>";
+  svg += strf(
+      "<circle cx=\"%.2f\" cy=\"%.2f\" r=\"4\" fill=\"var(--series-1)\" "
+      "stroke=\"var(--surface-1)\" stroke-width=\"2\"/>",
+      x(values.size() - 1), y(values.back()));
+  svg += "</svg>";
+  return svg;
+}
+
+}  // namespace
+
+void write_trend_html(const std::vector<TrendSeries>& series,
+                      const std::string& path) {
+  std::size_t max_commits = 0;
+  for (const TrendSeries& s : series)
+    max_commits = std::max(max_commits, s.commits.size());
+  std::ofstream f(path, std::ios::trunc);
+  check(f.good(), "trend: cannot write " + path);
+  f << "<!doctype html>\n<html lang=\"en\">\n<head>\n"
+       "<meta charset=\"utf-8\">\n"
+       "<title>gemmtune benchmark trend</title>\n"
+       "<style>\n"
+       ".viz-root { color-scheme: light;\n"
+       "  --surface-1: #fcfcfb; --text-primary: #0b0b0b;\n"
+       "  --text-secondary: #52514e; --series-1: #2a78d6;\n"
+       "  --grid: #e4e3df; }\n"
+       "@media (prefers-color-scheme: dark) { .viz-root {\n"
+       "  color-scheme: dark;\n"
+       "  --surface-1: #1a1a19; --text-primary: #ffffff;\n"
+       "  --text-secondary: #c3c2b7; --series-1: #3987e5;\n"
+       "  --grid: #3a3936; } }\n"
+       "body { margin: 0; }\n"
+       ".viz-root { background: var(--surface-1);\n"
+       "  color: var(--text-primary);\n"
+       "  font: 14px/1.5 system-ui, sans-serif;\n"
+       "  padding: 24px; min-height: 100vh; }\n"
+       "h1 { font-size: 18px; margin: 0 0 4px; }\n"
+       ".sub { color: var(--text-secondary); margin: 0 0 20px; }\n"
+       "table { border-collapse: collapse; width: 100%; }\n"
+       "th { text-align: left; color: var(--text-secondary);\n"
+       "  font-weight: 600; font-size: 12px;\n"
+       "  border-bottom: 1px solid var(--grid); padding: 6px 12px; }\n"
+       "td { border-bottom: 1px solid var(--grid); padding: 6px 12px;\n"
+       "  vertical-align: middle; }\n"
+       "td.num { text-align: right;\n"
+       "  font-variant-numeric: tabular-nums; }\n"
+       "td.key { color: var(--text-secondary); }\n"
+       "svg { display: block; }\n"
+       "</style>\n</head>\n<body>\n<div class=\"viz-root\">\n";
+  f << "<h1>Benchmark trend</h1>\n";
+  f << "<p class=\"sub\">" << series.size() << " metric series over up to "
+    << max_commits << " commits (oldest → newest)</p>\n";
+  f << "<table>\n<thead><tr><th>Series</th><th>Metric</th>"
+       "<th>Trend</th><th>First</th><th>Last</th><th>Change</th></tr>"
+       "</thead>\n<tbody>\n";
+  for (const TrendSeries& s : series) {
+    const double first = s.values.front();
+    const double last = s.values.back();
+    const double change =
+        first != 0 ? (last - first) / std::fabs(first) * 100 : 0;
+    f << "<tr><td class=\"key\">" << html_escape(s.key) << "</td><td>"
+      << html_escape(s.metric) << "</td><td>" << sparkline_svg(s.values)
+      << "</td><td class=\"num\">" << strf("%.6g", first)
+      << "</td><td class=\"num\">" << strf("%.6g", last)
+      << "</td><td class=\"num\">"
+      << (s.values.size() > 1 ? strf("%+.2f%%", change) : "&ndash;")
+      << "</td></tr>\n";
+  }
+  f << "</tbody>\n</table>\n</div>\n</body>\n</html>\n";
+  check(f.good(), "trend: write failed for " + path);
+}
+
+}  // namespace gemmtune::benchdb

@@ -1,0 +1,402 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <tuple>
+
+#include "benchdb/benchdb.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace gemmtune::benchdb {
+
+namespace {
+
+/// Identity of a metric series across commits: everything in the record
+/// key except commit/time/host (hosts change per CI runner, commits are
+/// the x-axis). Thread count joins only on request: results are
+/// bit-identical at any thread count by design, and CI runners disagree
+/// about core counts.
+std::string series_key(const Record& r, bool group_threads) {
+  std::string key = r.bench;
+  if (r.scenario != r.bench) key += " " + r.scenario;
+  key += " [" + r.device + " " + r.prec + " " + r.backend;
+  if (group_threads) key += strf(" t%d", r.threads);
+  key += "]";
+  return key;
+}
+
+double median_of(std::vector<double> v) {
+  check(!v.empty(), "median of empty window");
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+bool close(double a, double b, double rtol) {
+  if (a == b) return true;
+  const double denom = std::max(std::fabs(a), std::fabs(b));
+  return denom > 0 && std::fabs(a - b) / denom <= rtol;
+}
+
+}  // namespace
+
+bool metric_matches(const std::string& pattern, const std::string& name) {
+  if (pattern.empty()) return true;
+  if (!pattern.empty() && pattern.back() == '*')
+    return starts_with(name, pattern.substr(0, pattern.size() - 1));
+  return name == pattern;
+}
+
+bool Filter::matches(const Record& r) const {
+  if (!commit.empty() && !starts_with(r.commit, commit)) return false;
+  if (!device.empty() && r.device != device) return false;
+  if (!prec.empty() && r.prec != prec) return false;
+  if (!backend.empty() && r.backend != backend) return false;
+  if (!bench.empty() && r.bench != bench) return false;
+  if (!scenario.empty() && r.scenario != scenario) return false;
+  if (threads && r.threads != *threads) return false;
+  return true;
+}
+
+std::vector<Record> query(const std::vector<Record>& records,
+                          const Filter& f) {
+  std::vector<Record> out;
+  for (const Record& r : records) {
+    if (!f.matches(r)) continue;
+    if (!f.metric.empty()) {
+      Record kept = r;
+      kept.metrics.clear();
+      for (const auto& [name, value] : r.metrics)
+        if (metric_matches(f.metric, name)) kept.metrics[name] = value;
+      if (kept.metrics.empty()) continue;
+      out.push_back(std::move(kept));
+    } else {
+      out.push_back(r);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Record& a, const Record& b) {
+                     return std::tie(a.commit_time, a.commit, a.bench,
+                                     a.scenario, a.device, a.prec, a.backend,
+                                     a.threads) <
+                            std::tie(b.commit_time, b.commit, b.bench,
+                                     b.scenario, b.device, b.prec, b.backend,
+                                     b.threads);
+                   });
+  return out;
+}
+
+std::vector<std::string> commit_sequence(
+    const std::vector<Record>& records) {
+  std::vector<std::string> seq;
+  for (const Record& r : records) {
+    if (std::find(seq.begin(), seq.end(), r.commit) == seq.end())
+      seq.push_back(r.commit);
+  }
+  return seq;
+}
+
+double Tolerances::for_metric(const std::string& name) const {
+  for (const auto& [pattern, rtol] : per_metric) {
+    if (metric_matches(pattern, name)) return rtol;
+  }
+  return default_rtol;
+}
+
+bool lower_is_better(const std::string& metric) {
+  for (const char* marker :
+       {"seconds", "latency", "time", "rejected", "miss", "failed"}) {
+    if (metric.find(marker) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------
+// compare
+
+namespace {
+
+void diff_key_sets(const char* kind,
+                   const std::map<std::string, double>& base,
+                   const std::map<std::string, double>& cur,
+                   std::ostream& out, int& mismatches) {
+  for (const auto& [k, v] : base) {
+    if (!cur.contains(k)) {
+      out << "  " << kind << " " << k << ": missing from current result\n";
+      ++mismatches;
+    }
+  }
+  for (const auto& [k, v] : cur) {
+    if (!base.contains(k)) {
+      out << "  " << kind << " " << k
+          << ": not in baseline (update baselines?)\n";
+      ++mismatches;
+    }
+  }
+}
+
+void compare_values(const char* kind,
+                    const std::map<std::string, double>& base,
+                    const std::map<std::string, double>& cur, double rtol,
+                    std::ostream& out, int& mismatches) {
+  diff_key_sets(kind, base, cur, out, mismatches);
+  for (const auto& [k, bv] : base) {
+    auto it = cur.find(k);
+    if (it == cur.end()) continue;
+    if (!close(bv, it->second, rtol)) {
+      out << "  " << kind << " " << k << ": "
+          << strf("baseline %.6g vs current %.6g", bv, it->second) << "\n";
+      ++mismatches;
+    }
+  }
+}
+
+/// Flattens a report's deterministic sections into one name -> value map
+/// (the same shape compare_bench.py indexes). Reused for both sides of a
+/// file comparison so missing/extra detection is symmetric.
+std::map<std::string, double> comparable_values(const Json& doc) {
+  std::map<std::string, double> out;
+  if (doc.contains("scalars")) {
+    for (const auto& [name, value] : doc.at("scalars").items())
+      out["scalar " + name] = value.as_number();
+  }
+  if (doc.contains("comparisons")) {
+    const Json& comps = doc.at("comparisons");
+    for (std::size_t i = 0; i < comps.size(); ++i) {
+      const Json& c = comps.at(i);
+      const std::string key = "comparison (" + c.at("section").as_string() +
+                              ", " + c.at("label").as_string() + ")";
+      out[key + " paper"] = c.at("paper").as_number();
+      out[key + " measured"] = c.at("measured").as_number();
+    }
+  }
+  if (doc.contains("series")) {
+    const Json& series = doc.at("series");
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      const Json& s = series.at(i);
+      const std::string key = "series (" + s.at("section").as_string() +
+                              ", " + s.at("name").as_string() + ")";
+      const Json& points = s.at("points");
+      for (std::size_t p = 0; p < points.size(); ++p) {
+        const Json& pt = points.at(p);
+        out[key + strf(" at N=%lld",
+                       static_cast<long long>(
+                           pt.at(std::size_t{0}).as_int()))] =
+            pt.at(std::size_t{1}).as_number();
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int compare_reports(const Json& baseline, const Json& current, double rtol,
+                    std::ostream& out) {
+  int mismatches = 0;
+  const std::string bs =
+      baseline.contains("schema") ? baseline.at("schema").as_string() : "?";
+  const std::string cs =
+      current.contains("schema") ? current.at("schema").as_string() : "?";
+  if (bs != cs) {
+    out << "  schema mismatch: baseline '" << bs << "' vs current '" << cs
+        << "'\n";
+    return 1;
+  }
+  const auto base = comparable_values(baseline);
+  const auto cur = comparable_values(current);
+  compare_values("", base, cur, rtol, out, mismatches);
+  return mismatches;
+}
+
+int compare_commits(const std::vector<Record>& records,
+                    const std::string& ref_a, const std::string& ref_b,
+                    const Tolerances& tol, std::ostream& out) {
+  // One flat map per commit: "<series key> <metric>" -> value.
+  auto values_of = [&](const std::string& ref,
+                       std::map<std::string, double>& out_map) {
+    bool found = false;
+    for (const Record& r : records) {
+      if (!starts_with(r.commit, ref)) continue;
+      found = true;
+      const std::string key = series_key(r, /*group_threads=*/false);
+      for (const auto& [name, value] : r.metrics)
+        out_map[key + " " + name] = value;
+    }
+    check(found, "compare: no records for commit '" + ref + "'");
+  };
+  std::map<std::string, double> a, b;
+  values_of(ref_a, a);
+  values_of(ref_b, b);
+  int mismatches = 0;
+  diff_key_sets("metric", a, b, out, mismatches);
+  for (const auto& [k, av] : a) {
+    auto it = b.find(k);
+    if (it == b.end()) continue;
+    // Extract the metric name (last space-separated token) for the
+    // per-metric tolerance lookup.
+    const std::string metric = k.substr(k.rfind(' ') + 1);
+    if (!close(av, it->second, tol.for_metric(metric))) {
+      out << "  metric " << k << ": "
+          << strf("%.6g vs %.6g", av, it->second) << "\n";
+      ++mismatches;
+    }
+  }
+  return mismatches;
+}
+
+// ---------------------------------------------------------------------
+// gate
+
+GateResult gate(const std::vector<Record>& records,
+                const GateOptions& opt) {
+  GateResult result;
+  const auto seq = commit_sequence(records);
+  if (seq.empty()) return result;
+  std::string current = opt.commit.empty() ? seq.back() : "";
+  if (!opt.commit.empty()) {
+    for (const std::string& c : seq)
+      if (starts_with(c, opt.commit)) current = c;
+    check(!current.empty(),
+          "gate: no records for commit '" + opt.commit + "'");
+  }
+  // Metric series: (series key, metric) -> values in ingest order,
+  // separated into history (pre-current commits) and the current value.
+  struct SeriesState {
+    std::vector<double> history;
+    std::optional<double> current;
+  };
+  std::map<std::pair<std::string, std::string>, SeriesState> series;
+  for (const Record& r : records) {
+    const std::string key = series_key(r, opt.group_threads);
+    for (const auto& [name, value] : r.metrics) {
+      SeriesState& s = series[{key, name}];
+      if (r.commit == current)
+        s.current = value;  // last write wins (re-ingest of same commit)
+      else if (!s.current)
+        s.history.push_back(value);
+      // Records ingested *after* the current commit's are ignored: the
+      // gate asks "is the commit under test worse than its past".
+    }
+  }
+  for (const auto& [id, s] : series) {
+    if (!s.current) continue;  // series absent at the current commit
+    if (s.history.empty()) {
+      ++result.no_history;
+      continue;
+    }
+    ++result.checked;
+    const int k = std::max(1, opt.last_k);
+    const std::size_t take =
+        std::min(s.history.size(), static_cast<std::size_t>(k));
+    const std::vector<double> window(s.history.end() -
+                                         static_cast<std::ptrdiff_t>(take),
+                                     s.history.end());
+    const double med = median_of(window);
+    const double tol = opt.tol.for_metric(id.second);
+    const double denom = std::fabs(med);
+    double worse = 0;  // relative worsening, positive = regression
+    if (denom > 0) {
+      const double delta = (*s.current - med) / denom;
+      worse = opt.symmetric ? std::fabs(delta)
+              : lower_is_better(id.second) ? delta
+                                           : -delta;
+    } else if (*s.current != med) {
+      // Median 0: any nonzero "worse-direction" value is an infinite
+      // relative change; flag it unless the direction improved.
+      const bool regressed = opt.symmetric ? true
+                             : lower_is_better(id.second) ? *s.current > 0
+                                                          : *s.current < 0;
+      worse = regressed ? std::numeric_limits<double>::infinity() : 0;
+    }
+    if (worse > tol) {
+      result.failures.push_back({id.first, id.second, med, *s.current,
+                                 worse, tol, static_cast<int>(take)});
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// trend
+
+std::vector<TrendSeries> trend(const std::vector<Record>& records,
+                               const Filter& f, int last_k) {
+  const std::vector<Record> kept = [&] {
+    std::vector<Record> v;
+    for (const Record& r : records)
+      if (f.matches(r)) v.push_back(r);
+    return v;
+  }();
+  auto seq = commit_sequence(kept);
+  if (last_k > 0 && static_cast<int>(seq.size()) > last_k)
+    seq.erase(seq.begin(),
+              seq.end() - static_cast<std::ptrdiff_t>(last_k));
+  std::map<std::pair<std::string, std::string>,
+           std::map<std::string, double>>
+      by_series;  // (key, metric) -> commit -> value
+  for (const Record& r : kept) {
+    if (std::find(seq.begin(), seq.end(), r.commit) == seq.end()) continue;
+    const std::string key = series_key(r, /*group_threads=*/false);
+    for (const auto& [name, value] : r.metrics) {
+      if (!metric_matches(f.metric, name)) continue;
+      by_series[{key, name}][r.commit] = value;
+    }
+  }
+  std::vector<TrendSeries> out;
+  for (const auto& [id, per_commit] : by_series) {
+    TrendSeries t;
+    t.key = id.first;
+    t.metric = id.second;
+    for (const std::string& c : seq) {
+      auto it = per_commit.find(c);
+      if (it == per_commit.end()) continue;
+      t.commits.push_back(c);
+      t.values.push_back(it->second);
+    }
+    if (!t.values.empty()) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::string sparkline(const std::vector<double>& values) {
+  static const char* kBlocks[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  double lo = values[0], hi = values[0];
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  std::string out;
+  for (double v : values) {
+    int level = 0;
+    if (hi > lo)
+      level = static_cast<int>(std::floor((v - lo) / (hi - lo) * 7.999));
+    out += kBlocks[std::clamp(level, 0, 7)];
+  }
+  return out;
+}
+
+void print_trend(const std::vector<TrendSeries>& series,
+                 std::ostream& out) {
+  if (series.empty()) {
+    out << "trend: no matching metric series\n";
+    return;
+  }
+  TextTable t;
+  t.set_header({"Series", "Metric", "Trend", "First", "Last", "Change"});
+  for (const TrendSeries& s : series) {
+    const double first = s.values.front();
+    const double last = s.values.back();
+    const double change =
+        first != 0 ? (last - first) / std::fabs(first) * 100 : 0;
+    t.add_row({s.key, s.metric, sparkline(s.values), strf("%.6g", first),
+               strf("%.6g", last),
+               s.values.size() > 1 ? strf("%+.2f%%", change) : "-"});
+  }
+  t.print(out);
+}
+
+}  // namespace gemmtune::benchdb

@@ -1,0 +1,88 @@
+#include <utility>
+
+#include "benchdb/benchdb.hpp"
+#include "common/error.hpp"
+#include "common/report_version.hpp"
+
+namespace gemmtune::benchdb {
+
+namespace {
+
+const std::string& field_string(const Json& doc, const char* name) {
+  check(doc.contains(name),
+        std::string("record missing required field '") + name + "'");
+  return doc.at(name).as_string();
+}
+
+std::int64_t field_int(const Json& doc, const char* name) {
+  check(doc.contains(name),
+        std::string("record missing required field '") + name + "'");
+  return doc.at(name).as_int();
+}
+
+}  // namespace
+
+Json Record::to_json() const {
+  Json doc = Json::object();
+  doc["schema"] = kBenchDbSchema;
+  doc["commit"] = commit;
+  doc["commit_time"] = commit_time;
+  doc["host"] = host;
+  doc["device"] = device;
+  doc["prec"] = prec;
+  doc["backend"] = backend;
+  doc["bench"] = bench;
+  doc["scenario"] = scenario;
+  doc["threads"] = threads;
+  doc["source_schema"] = source_schema;
+  Json m = Json::object();
+  for (const auto& [name, value] : metrics) m[name] = value;
+  doc["metrics"] = std::move(m);
+  return doc;
+}
+
+Record Record::from_json(const Json& doc) {
+  check(field_string(doc, "schema") == kBenchDbSchema,
+        "record has unexpected schema '" + doc.at("schema").as_string() +
+            "' (want " + kBenchDbSchema + ")");
+  Record r;
+  r.commit = field_string(doc, "commit");
+  r.commit_time = field_int(doc, "commit_time");
+  r.host = field_string(doc, "host");
+  r.device = field_string(doc, "device");
+  r.prec = field_string(doc, "prec");
+  r.backend = field_string(doc, "backend");
+  r.bench = field_string(doc, "bench");
+  r.scenario = field_string(doc, "scenario");
+  r.threads = static_cast<int>(field_int(doc, "threads"));
+  r.source_schema = field_string(doc, "source_schema");
+  check(doc.contains("metrics"), "record missing required field 'metrics'");
+  for (const auto& [name, value] : doc.at("metrics").items())
+    r.metrics[name] = value.as_number();
+  return r;
+}
+
+LoadResult load_db(const std::string& path) {
+  LoadResult out;
+  JsonlFile file = load_jsonl(path, /*missing_ok=*/true);
+  out.skipped = std::move(file.bad);
+  for (const JsonlLine& line : file.lines) {
+    try {
+      out.records.push_back(Record::from_json(line.value));
+    } catch (const Error& e) {
+      // A parseable JSON line that is not a valid record is corruption
+      // too: report it at the same offset granularity and keep going.
+      out.skipped.push_back({line.line_no, line.byte_offset, e.what()});
+    }
+  }
+  return out;
+}
+
+void append_db(const std::string& path, const std::vector<Record>& recs) {
+  std::vector<Json> docs;
+  docs.reserve(recs.size());
+  for (const Record& r : recs) docs.push_back(r.to_json());
+  append_jsonl(path, docs);
+}
+
+}  // namespace gemmtune::benchdb

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "benchdb/benchdb.hpp"
 #include "blas/gemm.hpp"
 #include "blas/hostblas.hpp"
 #include "clfront/parser.hpp"
@@ -423,7 +424,14 @@ int usage(std::ostream& out) {
          "                  run one large GEMM tiled across the whole\n"
          "                  fleet; SPEC is k=v pairs, e.g. size=8192,\n"
          "                  prec=SGEMM,type=NN,tile=1024,\n"
-         "                  devices=Cypress+Cayman+SandyBridge\n";
+         "                  devices=Cypress+Cayman+SandyBridge\n"
+         "  bench-db <ingest|query|compare|trend|gate> [flags]\n"
+         "                  benchmark experiment database: ingest\n"
+         "                  bench/serve/dist reports into an append-only\n"
+         "                  JSONL store, query and diff them, render\n"
+         "                  trend reports, and gate CI on the last-K\n"
+         "                  performance trajectory (`bench-db` for the\n"
+         "                  subcommand list)\n";
   return 2;
 }
 
@@ -541,6 +549,8 @@ int run(const std::vector<std::string>& args, std::ostream& out) {
     if (cmd == "serve") return write_observability(cmd_serve(rest, out));
     if (cmd == "replay") return write_observability(cmd_replay(rest, out));
     if (cmd == "dist") return write_observability(cmd_dist(rest, out));
+    if (cmd == "bench-db")
+      return write_observability(benchdb::run_cli(rest, out));
     return write_observability(usage(out));
   } catch (const std::exception& e) {
     out << "error: " << e.what() << "\n";

@@ -75,6 +75,11 @@ bool Json::contains(const std::string& key) const {
   return kind_ == Kind::Object && obj_.count(key) > 0;
 }
 
+void Json::erase(const std::string& key) {
+  check(kind_ == Kind::Object, "Json: erase(key) on non-object");
+  obj_.erase(key);
+}
+
 const std::map<std::string, Json>& Json::items() const {
   check(kind_ == Kind::Object, "Json: items() on non-object");
   return obj_;

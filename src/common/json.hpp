@@ -50,6 +50,8 @@ class Json {
   Json& operator[](const std::string& key);
   const Json& at(const std::string& key) const;
   bool contains(const std::string& key) const;
+  /// Removes a key from an object (no-op when absent).
+  void erase(const std::string& key);
   const std::map<std::string, Json>& items() const;
 
   /// Serializes; `indent` > 0 pretty-prints with that many spaces per level.

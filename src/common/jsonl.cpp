@@ -1,0 +1,85 @@
+#include "common/jsonl.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace gemmtune {
+
+namespace {
+
+// Serializes in-process appends: append_jsonl is read-modify-write, so two
+// threads appending to the same (or any) JSONL file must not interleave.
+std::mutex& append_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+bool blank(const std::string& line) {
+  for (char c : line) {
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+JsonlFile load_jsonl(const std::string& path, bool missing_ok) {
+  JsonlFile out;
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) {
+    check(missing_ok, "load_jsonl: cannot open " + path);
+    return out;
+  }
+  std::string line;
+  std::int64_t line_no = 0;
+  std::int64_t offset = 0;
+  while (std::getline(f, line)) {
+    ++line_no;
+    const std::int64_t line_offset = offset;
+    offset += static_cast<std::int64_t>(line.size()) + 1;  // +1 for '\n'
+    if (blank(line)) continue;
+    try {
+      out.lines.push_back({Json::parse(line), line_no, line_offset});
+    } catch (const Error& e) {
+      out.bad.push_back({line_no, line_offset, e.what()});
+    }
+  }
+  return out;
+}
+
+void append_jsonl(const std::string& path, const std::vector<Json>& docs) {
+  if (docs.empty()) return;
+  std::lock_guard<std::mutex> lock(append_mutex());
+  std::string content;
+  {
+    std::ifstream f(path, std::ios::binary);
+    if (f.good()) {
+      std::ostringstream ss;
+      ss << f.rdbuf();
+      content = ss.str();
+      if (!content.empty() && content.back() != '\n') content += '\n';
+    }
+  }
+  for (const Json& d : docs) {
+    content += d.dump();
+    content += '\n';
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    check(f.good(), "append_jsonl: cannot open " + tmp);
+    f << content;
+    f.flush();
+    check(f.good(), "append_jsonl: write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail("append_jsonl: cannot rename " + tmp + " -> " + path);
+  }
+}
+
+}  // namespace gemmtune

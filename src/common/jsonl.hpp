@@ -1,0 +1,57 @@
+// JSON-Lines file helpers: one JSON document per line, append-only.
+//
+// The benchmark experiment database (src/benchdb) stores one record per
+// line so the file can be grown forever and merged with plain `cat`. Two
+// properties matter and both live here:
+//  * Crash-safe appends: the whole file (existing bytes + new lines) is
+//    written to a sibling temp file and renamed over the destination, so
+//    a reader — or a crash mid-append — never observes a torn line.
+//    In-process concurrent appends are serialized on a global mutex.
+//  * Corruption-tolerant loads: a bad line (truncated write from a kill
+//    -9, a botched hand edit, a merge marker) is skipped and reported
+//    with its line number and byte offset instead of poisoning the whole
+//    file; every parseable record stays loadable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace gemmtune {
+
+/// One successfully parsed line of a JSONL file.
+struct JsonlLine {
+  Json value;
+  std::int64_t line_no = 0;      // 1-based
+  std::int64_t byte_offset = 0;  // offset of the line's first byte
+};
+
+/// One line that failed to parse, with enough context to find and fix it.
+struct JsonlBadLine {
+  std::int64_t line_no = 0;
+  std::int64_t byte_offset = 0;
+  std::string error;
+};
+
+struct JsonlFile {
+  std::vector<JsonlLine> lines;
+  std::vector<JsonlBadLine> bad;
+};
+
+/// Loads `path`, parsing each non-blank line as one JSON document.
+/// Unparseable lines land in `bad` (with line number and byte offset)
+/// instead of throwing. A missing file yields an empty result when
+/// `missing_ok` is true and throws gemmtune::Error naming the path
+/// otherwise.
+JsonlFile load_jsonl(const std::string& path, bool missing_ok = true);
+
+/// Appends `docs` (one line each, compact dump) to `path`, creating it if
+/// needed. Crash-safe: existing bytes are preserved verbatim (including
+/// corrupt lines, which are evidence) and the combined content is
+/// published with a temp-file + rename. Safe to call concurrently from
+/// multiple threads of one process.
+void append_jsonl(const std::string& path, const std::vector<Json>& docs);
+
+}  // namespace gemmtune

@@ -1,0 +1,77 @@
+#include "common/runmeta.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.hpp"
+
+namespace gemmtune {
+
+namespace {
+
+/// Runs `cmd` and returns its trimmed stdout, or "" on any failure (no
+/// git, not a repository, command not found). stderr is discarded so a
+/// bench run outside a checkout stays clean.
+std::string capture_command(const std::string& cmd) {
+  FILE* pipe = ::popen((cmd + " 2>/dev/null").c_str(), "r");
+  if (!pipe) return "";
+  std::string out;
+  char buf[256];
+  while (std::fgets(buf, sizeof(buf), pipe)) out += buf;
+  const int rc = ::pclose(pipe);
+  if (rc != 0) return "";
+  return trim(out);
+}
+
+}  // namespace
+
+const std::string& git_commit() {
+  static const std::string commit = [] {
+    if (const char* env = std::getenv("GEMMTUNE_COMMIT"); env && *env)
+      return std::string(env);
+    const std::string head = capture_command("git rev-parse HEAD");
+    return head.empty() ? std::string("unknown") : head;
+  }();
+  return commit;
+}
+
+std::int64_t git_commit_time() {
+  static const std::int64_t time = [] {
+    const char* env = std::getenv("GEMMTUNE_COMMIT_TIME");
+    const std::string text =
+        env && *env ? env : capture_command("git show -s --format=%ct HEAD");
+    if (text.empty()) return std::int64_t{0};
+    try {
+      return static_cast<std::int64_t>(std::stoll(text));
+    } catch (...) {
+      return std::int64_t{0};
+    }
+  }();
+  return time;
+}
+
+const std::string& run_host() {
+  static const std::string host = [] {
+    if (const char* env = std::getenv("GEMMTUNE_HOSTNAME"); env && *env)
+      return std::string(env);
+    char buf[256] = {0};
+    if (::gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0')
+      return std::string(buf);
+    return std::string("unknown");
+  }();
+  return host;
+}
+
+Json run_meta_json(const std::string& backend, int threads) {
+  Json meta = Json::object();
+  meta["backend"] = backend;
+  meta["commit"] = git_commit();
+  meta["commit_time"] = git_commit_time();
+  meta["host"] = run_host();
+  meta["threads"] = threads;
+  return meta;
+}
+
+}  // namespace gemmtune

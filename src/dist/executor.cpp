@@ -10,7 +10,10 @@
 #include "common/error.hpp"
 #include "common/keyval.hpp"
 #include "common/report_version.hpp"
+#include "common/runmeta.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "kernelir/interp.hpp"
 #include "layout/packing.hpp"
 #include "simcl/device_registry.hpp"
 #include "trace/trace.hpp"
@@ -405,6 +408,9 @@ double DistExecutor::estimate_seconds(GemmType type, Precision prec,
 Json build_dist_report(const DistSpec& spec, const DistOutcome& o) {
   Json doc = Json::object();
   doc["schema"] = kDistReportSchema;
+  doc["meta"] = run_meta_json(
+      ir::to_string(ir::resolve_backend(ir::Backend::Auto)),
+      configured_threads());
 
   Json problem = Json::object();
   problem["m"] = o.grid.M;

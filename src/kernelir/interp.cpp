@@ -512,6 +512,16 @@ Backend resolve_backend(Backend requested) {
   return Backend::Bytecode;
 }
 
+const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::Auto: return "auto";
+    case Backend::Tree: return "tree";
+    case Backend::Bytecode: return "bytecode";
+    case Backend::Native: return "native";
+  }
+  return "auto";
+}
+
 Counters launch_with_backend(const Kernel& kernel,
                              std::array<std::int64_t, 2> global,
                              std::array<std::int64_t, 2> local,

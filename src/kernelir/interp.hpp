@@ -79,6 +79,10 @@ void set_backend_override(Backend b);
 /// Resolves `requested` against the override / environment / default.
 Backend resolve_backend(Backend requested);
 
+/// Backend name as the CLI / GEMMTUNE_INTERP spell it ("auto" for Auto);
+/// reports record the resolved name in their meta block.
+const char* to_string(Backend b);
+
 /// Executes `kernel` over `global` work-items in groups of `local`.
 /// `global[d]` must be a positive multiple of `local[d]`; when the kernel
 /// declares a required work-group size it must match `local`. Throws

@@ -9,7 +9,10 @@
 #include "codegen/paper_kernels.hpp"
 #include "common/error.hpp"
 #include "common/report_version.hpp"
+#include "common/runmeta.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "kernelir/interp.hpp"
 #include "trace/trace.hpp"
 
 namespace gemmtune::serve {
@@ -429,6 +432,9 @@ Json build_report(const WorkloadSpec& spec,
                   const ServeOptions& opt) {
   Json doc = Json::object();
   doc["schema"] = kServeReportSchema;
+  doc["meta"] = run_meta_json(
+      ir::to_string(ir::resolve_backend(ir::Backend::Auto)),
+      configured_threads());
   // The workload block mirrors the trace's spec object, so a report from
   // `serve` and one from `replay` of the saved trace are byte-identical.
   Json wl = Json::object();

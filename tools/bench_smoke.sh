@@ -1,24 +1,34 @@
 #!/usr/bin/env bash
 # Bench regression smoke: run a small, fast, deterministic subset of the
-# reproduction benches, emit their machine-readable result files, and gate
-# them against the checked-in baselines in bench/baselines/ with
-# tools/compare_bench.py. CI runs this as its third job.
+# reproduction benches, emit their machine-readable result files, ingest
+# every report into a scratch bench-db, and gate them against the
+# checked-in baselines in bench/baselines/ with `gemmtune bench-db
+# compare` (which replaced tools/compare_bench.py). CI runs this as its
+# third job.
 #
-# Usage: tools/bench_smoke.sh [--update]
-#   --update   regenerate bench/baselines/ from the current build instead
-#              of comparing (commit the result)
+# Usage: tools/bench_smoke.sh [--update | --reseed-db]
+#   --update     regenerate bench/baselines/ from the current build
+#                instead of comparing (commit the result)
+#   --reseed-db  regenerate the committed trajectory seed bench/db/ci.jsonl
+#                from the current build: five synthetic commits seed-1..5
+#                of every smoke report, with a pinned hostname and thread
+#                count so the artifact is machine-independent (commit it)
 #
 # Environment:
 #   BUILD_DIR  build tree with compiled benches (default: build)
 #   OUT_DIR    where to put the fresh results (default: $BUILD_DIR/bench-smoke)
 #   RTOL       relative tolerance for the comparison (default: 1e-4)
+#   GEMMTUNE   gemmtune binary (default: $BUILD_DIR/tools/gemmtune)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
 OUT_DIR="${OUT_DIR:-$BUILD_DIR/bench-smoke}"
 RTOL="${RTOL:-1e-4}"
+GEMMTUNE="${GEMMTUNE:-$BUILD_DIR/tools/gemmtune}"
 BASELINES=bench/baselines
+SMOKE_DB="$OUT_DIR/smoke.jsonl"
+CI_DB=bench/db/ci.jsonl
 
 # Model-driven benches (pure functions of the device tables, so the
 # baselines are tight) plus the micro benches, whose gated scalars are
@@ -27,11 +37,30 @@ BASELINES=bench/baselines
 SMOKE="table3_impl_vs_vendor fig9_tahiti fig10_nvidia smallsize_direct \
 micro_interp micro_layout"
 
-UPDATE=0
-if [[ "${1:-}" == "--update" ]]; then UPDATE=1; fi
+MODE=check
+case "${1:-}" in
+  --update) MODE=update ;;
+  --reseed-db) MODE=reseed ;;
+  "") ;;
+  *) echo "usage: tools/bench_smoke.sh [--update | --reseed-db]" >&2; exit 2 ;;
+esac
+
+if [[ ! -x "$GEMMTUNE" ]]; then
+  echo "error: $GEMMTUNE not built (build the gemmtune_tool target first)" >&2
+  exit 2
+fi
+
+# The reseed artifact is committed, so pin every machine-dependent meta
+# field the reports would otherwise pick up from this host.
+if [[ "$MODE" == "reseed" ]]; then
+  export GEMMTUNE_HOSTNAME=ci-seed
+  export GEMMTUNE_THREADS=1
+fi
 
 mkdir -p "$OUT_DIR"
+rm -f "$SMOKE_DB"
 status=0
+reports=()
 for b in $SMOKE; do
   bin="$BUILD_DIR/bench/bench_$b"
   if [[ ! -x "$bin" ]]; then
@@ -43,12 +72,13 @@ for b in $SMOKE; do
   extra=""
   case "$b" in micro_*) extra="--benchmark_min_time=0.05" ;; esac
   "$bin" $extra --json "$OUT_DIR/$b.json" > "$OUT_DIR/$b.txt"
-  if [[ "$UPDATE" == "1" ]]; then
+  reports+=("$OUT_DIR/$b.json")
+  if [[ "$MODE" == "update" ]]; then
     mkdir -p "$BASELINES"
     cp "$OUT_DIR/$b.json" "$BASELINES/$b.json"
     echo "[$b] baseline updated"
-  else
-    python3 tools/compare_bench.py "$BASELINES/$b.json" "$OUT_DIR/$b.json" \
+  elif [[ "$MODE" == "check" ]]; then
+    "$GEMMTUNE" bench-db compare "$BASELINES/$b.json" "$OUT_DIR/$b.json" \
       --rtol "$RTOL" || status=1
   fi
 done
@@ -78,16 +108,35 @@ else
     echo "[micro_interp_native] no .so landed in GEMMTUNE_JIT_CACHE" >&2
     status=1
   fi
-  if [[ "$UPDATE" == "1" ]]; then
+  reports+=("$OUT_DIR/micro_interp_native.json")
+  if [[ "$MODE" == "update" ]]; then
     cp "$OUT_DIR/micro_interp_native.json" "$BASELINES/micro_interp_native.json"
     echo "[micro_interp_native] baseline updated"
-  else
-    python3 tools/compare_bench.py "$BASELINES/micro_interp_native.json" \
+  elif [[ "$MODE" == "check" ]]; then
+    "$GEMMTUNE" bench-db compare "$BASELINES/micro_interp_native.json" \
       "$OUT_DIR/micro_interp_native.json" --rtol "$RTOL" || status=1
   fi
 fi
 
-if [[ "$UPDATE" == "0" && "$status" != "0" ]]; then
+if [[ "$MODE" == "reseed" ]]; then
+  # Five synthetic commits of the identical deterministic results: the
+  # trajectory the CI gate starts from until real history accumulates.
+  mkdir -p "$(dirname "$CI_DB")"
+  rm -f "$CI_DB"
+  for i in 1 2 3 4 5; do
+    "$GEMMTUNE" bench-db ingest "${reports[@]}" --db "$CI_DB" \
+      --commit "seed-$i" --time "$i"
+  done
+  echo "reseeded $CI_DB ($(wc -l < "$CI_DB") records)"
+  exit 0
+fi
+
+# Every report of this run also lands in a scratch experiment database,
+# which doubles as an ingest smoke and gives one queryable record set.
+"$GEMMTUNE" bench-db ingest "${reports[@]}" --db "$SMOKE_DB"
+"$GEMMTUNE" bench-db query --db "$SMOKE_DB"
+
+if [[ "$MODE" == "check" && "$status" != "0" ]]; then
   echo "bench smoke: regressions detected (see above)" >&2
 fi
 exit "$status"

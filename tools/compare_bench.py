@@ -1,132 +1,33 @@
 #!/usr/bin/env python3
-"""Compare a bench result JSON against its checked-in baseline.
+"""DEPRECATED shim: forwards to `gemmtune bench-db compare`.
 
-Both files follow the "gemmtune-bench-v1" schema emitted by bench_util's
-reporter, the "gemmtune-serve-v1" schema emitted by `gemmtune serve`
-(which carries only a "scalars" section plus workload metadata), or the
-"gemmtune-dist-v1" schema emitted by `gemmtune dist`. Only the
-deterministic sections are compared — "comparisons" (matched by
-section+label), "series" (matched by section+name, point by point) and
-"scalars" (matched by name) — never the "metrics" section, whose span
-durations are wall-clock. Numbers must agree within a relative
-tolerance; missing or extra entries fail too, so a bench that silently
-drops a series trips the gate.
+The comparison logic moved into the gemmtune binary (src/benchdb) so the
+same code also powers the experiment database's commit-vs-commit and
+trajectory gates. This wrapper keeps old invocations working; call
 
-Usage: compare_bench.py BASELINE CURRENT [--rtol X]
-Exit status: 0 when everything matches, 1 on any regression/mismatch.
+    $BUILD_DIR/tools/gemmtune bench-db compare BASELINE CURRENT --rtol X
+
+directly instead. The BUILD_DIR environment variable (default: build)
+locates the binary.
 """
 
-import argparse
-import json
+import os
+import subprocess
 import sys
 
 
-def close(a, b, rtol):
-    if a == b:
-        return True
-    denom = max(abs(a), abs(b))
-    return denom > 0 and abs(a - b) / denom <= rtol
-
-
-def key_cmp(entry):
-    return (entry.get("section", ""), entry.get("label", ""))
-
-
-def key_series(entry):
-    return (entry.get("section", ""), entry.get("name", ""))
-
-
-def index(entries, keyfn):
-    out = {}
-    for e in entries:
-        out[keyfn(e)] = e
-    return out
-
-
-def diff_maps(kind, base, cur, errors):
-    for k in base:
-        if k not in cur:
-            errors.append(f"{kind} {k}: missing from current result")
-    for k in cur:
-        if k not in base:
-            errors.append(f"{kind} {k}: not in baseline (update baselines?)")
-
-
 def main():
-    ap = argparse.ArgumentParser()
-    ap.add_argument("baseline")
-    ap.add_argument("current")
-    ap.add_argument("--rtol", type=float, default=1e-4,
-                    help="relative tolerance (default 1e-4)")
-    args = ap.parse_args()
-
-    with open(args.baseline) as f:
-        base = json.load(f)
-    with open(args.current) as f:
-        cur = json.load(f)
-
-    known_schemas = {"gemmtune-bench-v1", "gemmtune-serve-v1",
-                     "gemmtune-dist-v1"}
-    errors = []
-    for doc, which in ((base, args.baseline), (cur, args.current)):
-        if doc.get("schema") not in known_schemas:
-            errors.append(f"{which}: unexpected schema {doc.get('schema')!r}")
-    if base.get("schema") != cur.get("schema"):
-        errors.append(
-            f"schema mismatch: baseline {base.get('schema')!r} vs "
-            f"current {cur.get('schema')!r}")
-    if errors:
-        print("\n".join(errors))
-        return 1
-
-    bcomp = index(base.get("comparisons", []), key_cmp)
-    ccomp = index(cur.get("comparisons", []), key_cmp)
-    diff_maps("comparison", bcomp, ccomp, errors)
-    for k, b in bcomp.items():
-        c = ccomp.get(k)
-        if c is None:
-            continue
-        for field in ("paper", "measured"):
-            if not close(b[field], c[field], args.rtol):
-                errors.append(
-                    f"comparison {k} {field}: baseline {b[field]:.6g} vs "
-                    f"current {c[field]:.6g}")
-
-    bser = index(base.get("series", []), key_series)
-    cser = index(cur.get("series", []), key_series)
-    diff_maps("series", bser, cser, errors)
-    for k, b in bser.items():
-        c = cser.get(k)
-        if c is None:
-            continue
-        bp, cp = b["points"], c["points"]
-        if [p[0] for p in bp] != [p[0] for p in cp]:
-            errors.append(f"series {k}: size grid changed")
-            continue
-        for (n, bg), (_, cg) in zip(bp, cp):
-            if not close(bg, cg, args.rtol):
-                errors.append(
-                    f"series {k} at N={n}: baseline {bg:.6g} vs "
-                    f"current {cg:.6g}")
-
-    bsc = base.get("scalars", {})
-    csc = cur.get("scalars", {})
-    diff_maps("scalar", bsc, csc, errors)
-    for k, v in bsc.items():
-        if k in csc and not close(v, csc[k], args.rtol):
-            errors.append(
-                f"scalar {k}: baseline {v:.6g} vs current {csc[k]:.6g}")
-
-    name = base.get("bench", base.get("schema", "?"))
-    if errors:
-        print(f"[{name}] {len(errors)} mismatch(es) vs baseline:")
-        for e in errors:
-            print(f"  {e}")
-        return 1
-    n_items = len(bcomp) + len(bser) + len(bsc)
-    print(f"[{name}] OK: {n_items} baseline entries match "
-          f"(rtol {args.rtol:g})")
-    return 0
+    build_dir = os.environ.get("BUILD_DIR", "build")
+    tool = os.environ.get(
+        "GEMMTUNE", os.path.join(build_dir, "tools", "gemmtune"))
+    if not os.access(tool, os.X_OK):
+        print(f"compare_bench.py: {tool} not found or not executable; "
+              "build the gemmtune_tool target (or set BUILD_DIR/GEMMTUNE)",
+              file=sys.stderr)
+        return 2
+    print("compare_bench.py is deprecated; use "
+          f"'{tool} bench-db compare' instead", file=sys.stderr)
+    return subprocess.call([tool, "bench-db", "compare"] + sys.argv[1:])
 
 
 if __name__ == "__main__":
