@@ -106,8 +106,12 @@ double Tolerances::for_metric(const std::string& name) const {
 }
 
 bool lower_is_better(const std::string& metric) {
+  // "_ms" covers the serving layer's histogram percentiles
+  // (hist.p99_ms, class.<shape>.p999_ms, ...): every *_ms metric in the
+  // suite is a duration. "shed"/"expired" are the overload counters.
   for (const char* marker :
-       {"seconds", "latency", "time", "rejected", "miss", "failed"}) {
+       {"seconds", "latency", "time", "rejected", "miss", "failed", "_ms",
+        "shed", "expired"}) {
     if (metric.find(marker) != std::string::npos) return true;
   }
   return false;

@@ -22,6 +22,8 @@
 #include "kernelir/interp.hpp"
 #include "kernelir/native.hpp"
 #include "layout/matrix.hpp"
+#include "serve/core/async_server.hpp"
+#include "serve/core/differential.hpp"
 #include "serve/server.hpp"
 #include "serve/workload.hpp"
 #include "trace/trace.hpp"
@@ -228,12 +230,92 @@ int cmd_verify(const std::vector<std::string>& args, std::ostream& out) {
   return err <= tol ? 0 : 1;
 }
 
-/// Shared tail of `serve` and `replay`: warm up, run batched + unbatched
-/// baseline, print the summary and optionally write the report file.
+/// Serving-core selection shared by `serve` and `replay`.
+struct ServeCoreOptions {
+  std::string core = "serial";  ///< serial | async | diff
+  int shards = 4;
+  double slo_ms = 0;  ///< > 0: override every deadline to arrival + SLO
+  bool shed_infeasible = false;
+};
+
+/// Writes a report document to `path` (shared by every serve core).
+void write_report_file(const Json& report, const std::string& path,
+                       std::ostream& out) {
+  std::ofstream f(path, std::ios::trunc);
+  check(f.good(), "serve: cannot write report " + path);
+  f << report.dump(2) << "\n";
+  check(f.good(), "serve: write failed for " + path);
+  out << "wrote " << path << "\n";
+}
+
+/// Runs the concurrent core (virtual mode: deterministic) next to the
+/// serial reference and prints/writes the extended report.
+int run_serve_async(serve::GemmServer& server,
+                    const serve::WorkloadSpec& spec,
+                    const std::vector<serve::GemmRequest>& requests,
+                    const ServeCoreOptions& copt,
+                    const std::string& report_path, std::ostream& out) {
+  serve::AsyncOptions aopt;
+  aopt.shards = copt.shards;
+  aopt.shed_infeasible = copt.shed_infeasible;
+  aopt.execute_max_n = 64;  // checksum small requests on the executors
+  const auto serial =
+      server.run(requests, spec.max_batch, spec.queue_capacity);
+  serve::AsyncServer async(server, aopt);
+  const auto outcome =
+      async.run(requests, spec.max_batch, spec.queue_capacity);
+  const Json report = serve::build_async_report(
+      spec, requests, outcome, serial, server.options(), aopt);
+  const Json& s = report.at("scalars");
+  out << strf("async core: %d shards, virtual mode, %lld requests "
+              "executed on %zu device executors\n",
+              aopt.shards, static_cast<long long>(outcome.executed),
+              server.devices().size());
+  out << strf("served: %lld completed, shed %lld (queue full) + %lld "
+              "(infeasible), %lld expired\n",
+              static_cast<long long>(s.at("requests.completed").as_int()),
+              static_cast<long long>(outcome.shed_queue_full),
+              static_cast<long long>(outcome.shed_infeasible),
+              static_cast<long long>(outcome.expired));
+  out << strf("latency: p50 %.3f ms  p99 %.3f ms  p99.9 %.3f ms "
+              "(%zu shape classes)\n",
+              s.at("hist.p50_ms").as_number(),
+              s.at("hist.p99_ms").as_number(),
+              s.at("hist.p999_ms").as_number(), outcome.classes.size());
+  out << strf("vs serial core: completed %.3fx, throughput %.3fx\n",
+              s.at("speedup.completed_vs_serial").as_number(),
+              s.at("speedup.throughput_vs_serial").as_number());
+  if (!report_path.empty()) write_report_file(report, report_path, out);
+  return 0;
+}
+
+/// Replays the workload through both cores and reports the differential.
+int run_serve_diff(serve::GemmServer& server,
+                   const serve::WorkloadSpec& spec,
+                   const std::vector<serve::GemmRequest>& requests,
+                   const ServeCoreOptions& copt, std::ostream& out) {
+  serve::AsyncOptions aopt;
+  aopt.shards = copt.shards;
+  aopt.execute_max_n = 64;
+  const auto rep = serve::run_differential(
+      server, requests, spec.max_batch, spec.queue_capacity, aopt);
+  out << strf("differential: serial %lld completed, async %lld completed "
+              "(ratio %.4f), %lld GEMM checksums compared\n",
+              static_cast<long long>(rep.serial_completed),
+              static_cast<long long>(rep.async_completed),
+              rep.completed_ratio,
+              static_cast<long long>(rep.compared_checksums));
+  out << (rep.ok ? "cores agree: PASS\n"
+                 : "cores diverge: FAIL (" + rep.detail + ")\n");
+  return rep.ok ? 0 : 1;
+}
+
+/// Shared tail of `serve` and `replay`: warm up, run the selected core,
+/// print the summary and optionally write the report file.
 int run_serve(const serve::WorkloadSpec& spec,
-              const std::vector<serve::GemmRequest>& requests,
+              const std::vector<serve::GemmRequest>& requests_in,
               const std::string& cache_path, const std::string& report_path,
-              std::ostream& out) {
+              const ServeCoreOptions& copt, std::ostream& out) {
   serve::ServeOptions sopt;
   sopt.cache_path = cache_path;
   serve::GemmServer server(spec.resolved_devices(), sopt);
@@ -243,6 +325,19 @@ int run_serve(const serve::WorkloadSpec& spec,
         << "\n";
   out << strf("warmup: %zu kernels ready (%zu from cache, %zu profiled)\n",
               info.loaded + info.profiled, info.loaded, info.profiled);
+  std::vector<serve::GemmRequest> requests = requests_in;
+  if (copt.slo_ms > 0) {
+    // One service-level objective for every request, replacing the
+    // per-class deadline budgets.
+    for (auto& r : requests)
+      r.deadline_seconds = r.arrival_seconds + copt.slo_ms / 1e3;
+    out << strf("slo: deadlines overridden to arrival + %.3g ms\n",
+                copt.slo_ms);
+  }
+  if (copt.core == "async")
+    return run_serve_async(server, spec, requests, copt, report_path, out);
+  if (copt.core == "diff")
+    return run_serve_diff(server, spec, requests, copt, out);
   const auto batched =
       server.run(requests, spec.max_batch, spec.queue_capacity);
   const auto unbatched = server.run(requests, 1, spec.queue_capacity);
@@ -278,13 +373,7 @@ int run_serve(const serve::WorkloadSpec& spec,
   out << strf("baseline (unbatched): %.1f GFlop/s -> speedup %.2fx\n",
               s.at("baseline.throughput.gflops").as_number(),
               s.at("speedup.throughput").as_number());
-  if (!report_path.empty()) {
-    std::ofstream f(report_path, std::ios::trunc);
-    check(f.good(), "serve: cannot write report " + report_path);
-    f << report.dump(2) << "\n";
-    check(f.good(), "serve: write failed for " + report_path);
-    out << "wrote " << report_path << "\n";
-  }
+  if (!report_path.empty()) write_report_file(report, report_path, out);
   return 0;
 }
 
@@ -303,13 +392,52 @@ std::optional<std::string> flag_value(const std::vector<std::string>& args,
   return std::nullopt;
 }
 
+/// Parses the core-selection flags shared by `serve` and `replay`.
+/// Returns true when args[i] was consumed.
+bool core_flag(const std::vector<std::string>& args, std::size_t& i,
+               ServeCoreOptions& copt) {
+  if (auto v = flag_value(args, i, "--core")) {
+    if (*v != "serial" && *v != "async" && *v != "diff")
+      fail_unknown_value("--core", *v, {"serial", "async", "diff"});
+    copt.core = *v;
+    return true;
+  }
+  if (auto v = flag_value(args, i, "--shards")) {
+    try {
+      std::size_t used = 0;
+      copt.shards = std::stoi(*v, &used);
+      check(used == v->size() && copt.shards >= 1, "");
+    } catch (const std::exception&) {
+      fail("--shards expects an integer >= 1, got '" + *v + "'");
+    }
+    return true;
+  }
+  if (auto v = flag_value(args, i, "--slo-ms")) {
+    try {
+      std::size_t used = 0;
+      copt.slo_ms = std::stod(*v, &used);
+      check(used == v->size() && copt.slo_ms > 0, "");
+    } catch (const std::exception&) {
+      fail("--slo-ms expects a number > 0, got '" + *v + "'");
+    }
+    return true;
+  }
+  if (args[i] == "--shed-infeasible") {
+    copt.shed_infeasible = true;
+    return true;
+  }
+  return false;
+}
+
 int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
   std::string spec_text, report_path, cache_path, trace_path;
+  ServeCoreOptions copt;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (auto v = flag_value(args, i, "--workload")) spec_text = *v;
     else if (auto v = flag_value(args, i, "--report")) report_path = *v;
     else if (auto v = flag_value(args, i, "--cache")) cache_path = *v;
     else if (auto v = flag_value(args, i, "--save-trace")) trace_path = *v;
+    else if (core_flag(args, i, copt)) continue;
     else fail("serve: unknown argument '" + args[i] + "'");
   }
   const serve::WorkloadSpec spec = serve::parse_spec(spec_text);
@@ -318,20 +446,23 @@ int cmd_serve(const std::vector<std::string>& args, std::ostream& out) {
     serve::save_workload_file(trace_path, spec, requests);
     out << "saved workload trace to " << trace_path << "\n";
   }
-  return run_serve(spec, requests, cache_path, report_path, out);
+  return run_serve(spec, requests, cache_path, report_path, copt, out);
 }
 
 int cmd_replay(const std::vector<std::string>& args, std::ostream& out) {
   check(!args.empty() && !args[0].starts_with("--"),
-        "usage: replay <trace.json> [--report FILE] [--cache FILE]");
+        "usage: replay <trace.json> [--report FILE] [--cache FILE] "
+        "[--core C] [--shards N] [--slo-ms X]");
   std::string report_path, cache_path;
+  ServeCoreOptions copt;
   for (std::size_t i = 1; i < args.size(); ++i) {
     if (auto v = flag_value(args, i, "--report")) report_path = *v;
     else if (auto v = flag_value(args, i, "--cache")) cache_path = *v;
+    else if (core_flag(args, i, copt)) continue;
     else fail("replay: unknown argument '" + args[i] + "'");
   }
   const serve::Workload w = serve::load_workload_file(args[0]);
-  return run_serve(w.spec, w.requests, cache_path, report_path, out);
+  return run_serve(w.spec, w.requests, cache_path, report_path, copt, out);
 }
 
 int cmd_dist(const std::vector<std::string>& args, std::ostream& out) {
@@ -413,12 +544,21 @@ int usage(std::ostream& out) {
          "  sweep <device> <DGEMM|SGEMM> <maxN>\n"
          "  verify <device> <DGEMM|SGEMM> <M> <N> <K>\n"
          "  serve [--workload SPEC] [--report FILE] [--cache FILE]\n"
-         "        [--save-trace FILE]\n"
+         "        [--save-trace FILE] [--core serial|async|diff]\n"
+         "        [--shards N] [--slo-ms X] [--shed-infeasible]\n"
          "                  run the batched GEMM service on a seeded\n"
          "                  synthetic workload; SPEC is k=v pairs, e.g.\n"
          "                  requests=1000,seed=42,rate=2000,max_batch=16,\n"
-         "                  queue=512,devices=Tahiti+Kepler\n"
+         "                  queue=512,arrival=poisson,devices=Tahiti+Kepler\n"
+         "                  --core async runs the sharded concurrent core\n"
+         "                  (deterministic virtual mode) with per-shape-\n"
+         "                  class p50/p99/p999; --core diff replays the\n"
+         "                  workload through both cores and checks they\n"
+         "                  agree; --slo-ms X replaces every deadline with\n"
+         "                  arrival + X ms; --shed-infeasible also rejects\n"
+         "                  deadline-infeasible requests at admission\n"
          "  replay <trace.json> [--report FILE] [--cache FILE]\n"
+         "         [--core C] [--shards N] [--slo-ms X]\n"
          "                  re-run a workload trace saved by serve\n"
          "  dist [--spec SPEC] [--report FILE]\n"
          "                  run one large GEMM tiled across the whole\n"
@@ -438,22 +578,6 @@ int usage(std::ostream& out) {
 }  // namespace
 
 namespace {
-
-int parse_thread_count(const std::string& value) {
-  int n = 0;
-  try {
-    std::size_t used = 0;
-    n = std::stoi(value, &used);
-    check(used == value.size(), "--threads expects an integer, got '" +
-                                    value + "'");
-  } catch (const std::invalid_argument&) {
-    fail("--threads expects an integer, got '" + value + "'");
-  } catch (const std::out_of_range&) {
-    fail("--threads value '" + value + "' is out of range");
-  }
-  check(n >= 1, "--threads must be >= 1");
-  return n;
-}
 
 void set_interp_backend(const std::string& value) {
   if (value == "tree") {
@@ -478,10 +602,10 @@ int run(const std::vector<std::string>& args, std::ostream& out) {
       const std::string& flag = args[first];
       if (flag == "--threads") {
         check(first + 1 < args.size(), "--threads requires a value");
-        set_thread_override(parse_thread_count(args[first + 1]));
+        set_thread_override(parse_thread_count("--threads", args[first + 1]));
         first += 2;
       } else if (flag.starts_with("--threads=")) {
-        set_thread_override(parse_thread_count(flag.substr(10)));
+        set_thread_override(parse_thread_count("--threads", flag.substr(10)));
         first += 1;
       } else if (flag == "--interp") {
         check(first + 1 < args.size(), "--interp requires a value");

@@ -1,0 +1,102 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace gemmtune {
+
+namespace {
+
+constexpr double kNsPerSecond = 1e9;
+
+}  // namespace
+
+std::size_t LatencyHistogram::bucket_of(double seconds) {
+  if (!(seconds > 0)) return 0;
+  const double ns_d = seconds * kNsPerSecond;
+  // Everything past ~2^63 ns (~292 years) saturates into the last octave.
+  const std::uint64_t ns =
+      ns_d >= 9.2e18 ? ~std::uint64_t{0} : static_cast<std::uint64_t>(ns_d);
+  if (ns < kSubBuckets) return static_cast<std::size_t>(ns);
+  // Octave = position of the highest set bit; the remaining bits pick the
+  // linear sub-bucket inside the octave.
+  const int octave = 63 - std::countl_zero(ns);
+  const std::uint64_t base = std::uint64_t{1} << octave;
+  const std::uint64_t sub = (ns - base) >> (octave - 3);  // 2^3 sub-buckets
+  // The first log2(kSubBuckets) octaves are covered by the linear ramp
+  // [0, kSubBuckets); each later octave contributes kSubBuckets buckets.
+  return static_cast<std::size_t>(kSubBuckets +
+                                  (octave - 3) * kSubBuckets + sub);
+}
+
+double LatencyHistogram::bucket_upper_seconds(std::size_t index) {
+  if (index < kSubBuckets) return static_cast<double>(index + 1) / kNsPerSecond;
+  const std::size_t rel = index - kSubBuckets;
+  const int octave = static_cast<int>(rel / kSubBuckets) + 3;
+  const std::uint64_t sub = rel % kSubBuckets;
+  const double base = std::ldexp(1.0, octave);
+  const double width = std::ldexp(1.0, octave - 3);
+  return (base + static_cast<double>(sub + 1) * width) / kNsPerSecond;
+}
+
+void LatencyHistogram::record(double seconds) {
+  const double v = seconds > 0 ? seconds : 0;
+  const std::size_t idx = bucket_of(v);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  ++buckets_[idx];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size())
+    buckets_.resize(other.buckets_.size(), 0);
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  const std::uint64_t target = rank > 0 ? rank : 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target)
+      return std::min(bucket_upper_seconds(i), max_);
+  }
+  return max_;
+}
+
+Json LatencyHistogram::summary_json() const {
+  Json j = Json::object();
+  j["count"] = static_cast<std::int64_t>(count_);
+  j["min_ms"] = min_seconds() * 1e3;
+  j["max_ms"] = max_seconds() * 1e3;
+  j["mean_ms"] = mean_seconds() * 1e3;
+  j["p50_ms"] = quantile(0.50) * 1e3;
+  j["p99_ms"] = quantile(0.99) * 1e3;
+  j["p999_ms"] = quantile(0.999) * 1e3;
+  return j;
+}
+
+}  // namespace gemmtune

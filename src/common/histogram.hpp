@@ -1,0 +1,68 @@
+// Log-bucketed latency histogram for the serving layer's tail-latency
+// accounting (p50/p99/p999 per shape class).
+//
+// Design points:
+//  * Log-linear buckets: each power-of-two octave of the nanosecond scale
+//    is split into kSubBuckets linear sub-buckets, so the relative
+//    resolution is bounded (~1/kSubBuckets) across twelve decades while
+//    the whole table stays a few hundred counters. This is the classic
+//    HdrHistogram/hiccup layout, sized for 1 ns .. ~18 minutes.
+//  * Order-independent: record() only increments a counter, so the
+//    histogram built from a set of samples is identical no matter which
+//    thread observed which sample or in which order — merging per-executor
+//    histograms after a concurrent run is deterministic.
+//  * Conservative quantiles: quantile() returns the upper bound of the
+//    nearest-rank bucket (clamped to the true maximum), so a reported p99
+//    never understates the tail.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace gemmtune {
+
+class LatencyHistogram {
+ public:
+  /// Linear sub-buckets per power-of-two octave (relative error <= 1/8).
+  static constexpr int kSubBuckets = 8;
+
+  /// Records one latency sample (seconds; negatives count as zero).
+  void record(double seconds);
+
+  /// Adds every bucket of `other` into this histogram.
+  void merge(const LatencyHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  double min_seconds() const { return count_ ? min_ : 0; }
+  double max_seconds() const { return count_ ? max_ : 0; }
+  double mean_seconds() const {
+    return count_ ? sum_ / static_cast<double>(count_) : 0;
+  }
+
+  /// Nearest-rank quantile (q clamped to [0, 1]): the upper bound of the
+  /// first bucket whose cumulative count reaches ceil(q * count), clamped
+  /// to the exact observed maximum. 0 on an empty histogram.
+  double quantile(double q) const;
+
+  /// {count, min_ms, max_ms, mean_ms, p50_ms, p99_ms, p999_ms}. A pure
+  /// function of the recorded multiset, so reports built from it are
+  /// deterministic for deterministic samples.
+  Json summary_json() const;
+
+  /// Bucket index for a sample (exposed for tests).
+  static std::size_t bucket_of(double seconds);
+  /// Upper bound, in seconds, of bucket `index` (exposed for tests).
+  static double bucket_upper_seconds(std::size_t index);
+
+ private:
+  std::vector<std::uint64_t> buckets_;  // grown lazily to the max index
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace gemmtune

@@ -1,9 +1,12 @@
 #include "common/thread_pool.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdlib>
 #include <map>
 #include <memory>
+
+#include "common/error.hpp"
 
 namespace gemmtune {
 
@@ -11,14 +14,30 @@ namespace {
 std::atomic<int> g_thread_override{0};
 }  // namespace
 
+int parse_thread_count(const std::string& origin, const std::string& value) {
+  const auto bad = [&]() -> int {
+    fail(origin + ": invalid thread count '" + value + "' (use an integer " +
+         std::to_string(kMinThreads) + ".." + std::to_string(kMaxThreads) +
+         ")");
+  };
+  if (value.empty()) bad();
+  long parsed = 0;
+  for (const char c : value) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) bad();
+    parsed = parsed * 10 + (c - '0');
+    if (parsed > kMaxThreads) bad();
+  }
+  if (parsed < kMinThreads) bad();
+  return static_cast<int>(parsed);
+}
+
 void set_thread_override(int n) { g_thread_override.store(n > 0 ? n : 0); }
 
 int configured_threads() {
   const int o = g_thread_override.load();
   if (o > 0) return o;
   if (const char* env = std::getenv("GEMMTUNE_THREADS")) {
-    const int v = std::atoi(env);
-    if (v > 0) return v;
+    return parse_thread_count("GEMMTUNE_THREADS", env);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;

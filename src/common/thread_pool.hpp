@@ -36,8 +36,21 @@
 
 namespace gemmtune {
 
+/// Inclusive bounds every explicit thread-count setting must satisfy.
+inline constexpr int kMinThreads = 1;
+inline constexpr int kMaxThreads = 1024;
+
+/// Parses an explicit thread-count setting (the --threads flag or the
+/// GEMMTUNE_THREADS variable). Throws gemmtune::Error naming `origin` and
+/// the allowed range [kMinThreads, kMaxThreads] when `value` is not a
+/// plain decimal integer in range — garbage, zero, negatives, trailing
+/// junk, and out-of-range counts are all rejected instead of silently
+/// falling back to a default.
+int parse_thread_count(const std::string& origin, const std::string& value);
+
 /// Threads parallel sections will use: override > GEMMTUNE_THREADS > number
-/// of hardware threads (always >= 1).
+/// of hardware threads (always >= 1). Throws (via parse_thread_count) when
+/// GEMMTUNE_THREADS is set to an invalid value.
 int configured_threads();
 
 /// Sets the process-wide thread-count override (the CLI --threads flag);

@@ -1,0 +1,88 @@
+// Sharded bounded admission queue for the concurrent serving core.
+//
+// The serial BatchScheduler keeps every pending group behind one implicit
+// lock (it is only ever touched by the event loop). At serving scale the
+// admission path and several executors hammer that structure concurrently,
+// so this variant splits the groups across `shards` independently locked
+// maps, hashed by ShapeClass — two threads working different shape classes
+// almost never contend.
+//
+// Parity rules (all load-bearing for the serial-vs-async differential):
+//  * The depth bound is GLOBAL, not per-shard: one atomic counter carries
+//    the capacity check, so whether a request is shed by backpressure is
+//    invariant under the shard count. Sharding partitions the lock domain
+//    and the storage, never the admission decision.
+//  * group_views() merges the per-shard views into exactly the serial
+//    dispatch order (head priority desc, arrival asc, id asc). That
+//    comparator is a total order — a request lives in exactly one group,
+//    so head ids are unique — which makes the merged order independent of
+//    shard count and visitation order.
+//  * pop_from()/skim semantics match BatchScheduler verbatim: FIFO within
+//    a group, expired requests skimmed into `expired` without counting
+//    against the batch, takes capped by min(max_batch, max(max_take, 1)).
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "serve/scheduler.hpp"
+
+namespace gemmtune::serve {
+
+class ShardedQueue {
+ public:
+  ShardedQueue(int shards, int max_batch, int queue_capacity);
+
+  int shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Admits a request; false when the global depth bound is hit
+  /// (backpressure). Thread-safe.
+  bool admit(const GemmRequest& r);
+
+  std::size_t depth() const { return depth_.load(std::memory_order_relaxed); }
+  std::size_t peak_depth() const {
+    return peak_depth_.load(std::memory_order_relaxed);
+  }
+  bool empty() const { return depth() == 0; }
+
+  /// Shard that owns a shape class (exposed for tests).
+  std::size_t shard_of(const ShapeClass& s) const;
+
+  /// Merged dispatch-priority view over every shard (serial order; see
+  /// header comment). Skims deadline-expired group heads into `expired`.
+  /// Thread-safe; shards are visited one lock at a time, so the view is a
+  /// consistent snapshot per shard, not across shards — exact global
+  /// consistency only holds for a single-threaded caller (virtual mode).
+  std::vector<BatchScheduler::GroupView> group_views(
+      double clock, std::vector<GemmRequest>& expired);
+
+  /// Pops up to `max_take` live requests of `shape` as one batch; expired
+  /// requests met on the way are appended to `expired`. Thread-safe.
+  std::optional<PendingBatch> pop_from(const ShapeClass& shape, double clock,
+                                       std::size_t max_take,
+                                       std::vector<GemmRequest>& expired);
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::map<ShapeClass, std::deque<GemmRequest>> groups;
+  };
+
+  /// Pops expired requests off the front of `q`, releasing their depth.
+  void skim_expired(std::deque<GemmRequest>& q, double clock,
+                    std::vector<GemmRequest>& expired);
+  void release(std::size_t n);  ///< returns n admissions to the bound
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  int max_batch_;
+  std::size_t capacity_;
+  std::atomic<std::size_t> depth_{0};
+  std::atomic<std::size_t> peak_depth_{0};
+};
+
+}  // namespace gemmtune::serve

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <tuple>
 
 #include "codegen/params.hpp"
@@ -65,6 +66,31 @@ struct ShapeClass {
     return !(a < b) && !(b < a);
   }
 };
+
+/// Stable display/report key for a shape class, e.g. "SGEMM.NN.64x64x64".
+inline std::string to_string(const ShapeClass& c) {
+  return std::string(to_string(c.prec)) + "." + to_string(c.type) + "." +
+         std::to_string(c.Mc) + "x" + std::to_string(c.Nc) + "x" +
+         std::to_string(c.Kc);
+}
+
+/// FNV-1a hash of the class fields; used to pick the admission shard, so
+/// it must depend only on the class (never on arrival order or pointers).
+inline std::uint64_t shape_class_hash(const ShapeClass& c) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(c.prec));
+  mix(static_cast<std::uint64_t>(c.type));
+  mix(static_cast<std::uint64_t>(c.Mc));
+  mix(static_cast<std::uint64_t>(c.Nc));
+  mix(static_cast<std::uint64_t>(c.Kc));
+  return h;
+}
 
 /// Terminal state of a request.
 enum class RequestStatus {

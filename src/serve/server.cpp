@@ -123,6 +123,15 @@ void GemmServer::ensure_estimates(
   }
 }
 
+const std::vector<PathEstimate>& GemmServer::estimates_for(
+    const ShapeClass& s) const {
+  const auto it = estimates_.find(s);
+  check(it != estimates_.end(),
+        "GemmServer::estimates_for: no estimates for " + to_string(s) +
+            " (call ensure_estimates first)");
+  return it->second;
+}
+
 double GemmServer::dist_seconds(const GemmRequest& r) {
   const auto key = std::make_tuple(r.type, r.prec, r.M, r.N, r.K);
   const auto it = dist_cache_.find(key);
@@ -365,9 +374,6 @@ ServeOutcome GemmServer::run(const std::vector<GemmRequest>& requests,
   return out;
 }
 
-namespace {
-
-/// Flattens one outcome into the report's scalar map under `prefix`.
 void outcome_scalars(Json& scalars, const std::string& prefix,
                      const std::vector<GemmRequest>& requests,
                      const ServeOutcome& o) {
@@ -413,6 +419,7 @@ void outcome_scalars(Json& scalars, const std::string& prefix,
   scalars[prefix + "latency_ms.p50"] = percentile(latencies_ms, 0.50);
   scalars[prefix + "latency_ms.p95"] = percentile(latencies_ms, 0.95);
   scalars[prefix + "latency_ms.p99"] = percentile(latencies_ms, 0.99);
+  scalars[prefix + "latency_ms.p999"] = percentile(latencies_ms, 0.999);
   scalars[prefix + "latency_ms.max"] =
       latencies_ms.empty()
           ? 0.0
@@ -423,8 +430,6 @@ void outcome_scalars(Json& scalars, const std::string& prefix,
   scalars[prefix + "throughput.gflops"] =
       safe_gflops(o.completed_flops, o.makespan_seconds);
 }
-
-}  // namespace
 
 Json build_report(const WorkloadSpec& spec,
                   const std::vector<GemmRequest>& requests,
@@ -441,6 +446,7 @@ Json build_report(const WorkloadSpec& spec,
   wl["seed"] = static_cast<std::int64_t>(spec.seed);
   wl["requests"] = spec.requests;
   wl["rate_rps"] = spec.rate_rps;
+  wl["arrival"] = to_string(spec.arrival);
   Json devs = Json::array();
   for (simcl::DeviceId id : spec.resolved_devices())
     devs.push_back(simcl::to_string(id));

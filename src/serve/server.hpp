@@ -108,11 +108,24 @@ struct ServeOutcome {
   double completed_flops = 0;
 };
 
+/// Modeled cost of serving one request of a shape class on one device:
+/// the PerfModel-backed choice between the pack path and the copy-free
+/// direct path. Shared between the serial event loop and the concurrent
+/// core (src/serve/core), which must place batches from the same numbers
+/// to stay differentially comparable.
+struct PathEstimate {
+  double seconds = 0;       ///< per-request service time
+  bool used_direct = false;
+  double gflops = 0;
+};
+
 class GemmServer {
  public:
   GemmServer(std::vector<simcl::DeviceId> devices, ServeOptions opt);
 
   const std::vector<simcl::DeviceId>& devices() const { return devices_; }
+  const ServeOptions& options() const { return opt_; }
+  bool warmed() const { return warmed_; }
 
   /// Prepares tuned kernels for every device x {DGEMM, SGEMM} before any
   /// traffic is admitted. Must be called once before run().
@@ -125,21 +138,31 @@ class GemmServer {
   ServeOutcome run(const std::vector<GemmRequest>& requests, int max_batch,
                    int queue_capacity);
 
- private:
-  struct PathEstimate {
-    double seconds = 0;       ///< per-request service time
-    bool used_direct = false;
-    double gflops = 0;
-  };
-
   /// Fills the estimate table for every shape class in `requests` on every
   /// device (parallel; pure, so thread-count invariant).
   void ensure_estimates(const std::vector<GemmRequest>& requests);
+
+  /// The estimate row (index parallel to devices()) for one shape class;
+  /// throws if ensure_estimates has not covered it.
+  const std::vector<PathEstimate>& estimates_for(const ShapeClass& s) const;
+
+  /// The whole estimate table (the async core snapshots it at start and
+  /// lets its re-tuner refresh the snapshot without touching this one).
+  const std::map<ShapeClass, std::vector<PathEstimate>>& estimates() const {
+    return estimates_;
+  }
+
+  /// Warmed per-device engines (parallel to devices()); valid after
+  /// warmup(). GemmEngine::gemm/estimate are safe to call concurrently.
+  const std::vector<std::unique_ptr<blas::GemmEngine>>& engines() const {
+    return engines_;
+  }
 
   /// Modeled fleet makespan of one distributed request (memoized; builds
   /// the executor over the warmed engines on first use).
   double dist_seconds(const GemmRequest& r);
 
+ private:
   std::vector<simcl::DeviceId> devices_;
   ServeOptions opt_;
   ThreadPool pool_;
@@ -153,6 +176,13 @@ class GemmServer {
       dist_cache_;
   bool warmed_ = false;
 };
+
+/// Flattens one outcome into a report's scalar map under `prefix`
+/// (requests.*, batches.*, latency_ms.*, queue.*, sim.*, throughput.*).
+/// Shared by the serial and the concurrent (src/serve/core) reports.
+void outcome_scalars(Json& scalars, const std::string& prefix,
+                     const std::vector<GemmRequest>& requests,
+                     const ServeOutcome& o);
 
 /// Builds the "gemmtune-serve-v1" report from a batched run and its
 /// unbatched baseline on the same workload. The document is a pure

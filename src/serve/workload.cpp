@@ -93,6 +93,13 @@ double parse_double(const std::string& key, const std::string& value) {
 
 }  // namespace
 
+Arrival parse_arrival(const std::string& context, const std::string& value) {
+  if (value == "poisson") return Arrival::Poisson;
+  if (value == "uniform") return Arrival::Uniform;
+  if (value == "burst") return Arrival::Burst;
+  fail_unknown_value(context, value, {"poisson", "uniform", "burst"});
+}
+
 std::vector<simcl::DeviceId> WorkloadSpec::resolved_devices() const {
   return devices.empty() ? simcl::evaluation_devices() : devices;
 }
@@ -108,6 +115,8 @@ WorkloadSpec parse_spec(const std::string& text) {
     } else if (key == "rate") {
       spec.rate_rps = parse_double(key, value);
       check(spec.rate_rps > 0, "workload spec: rate must be > 0");
+    } else if (key == "arrival") {
+      spec.arrival = parse_arrival("workload spec: arrival", value);
     } else if (key == "max_batch") {
       spec.max_batch = static_cast<int>(parse_int(key, value));
       check(spec.max_batch >= 1, "workload spec: max_batch must be >= 1");
@@ -123,8 +132,8 @@ WorkloadSpec parse_spec(const std::string& text) {
       check(!spec.devices.empty(), "workload spec: devices list is empty");
     } else {
       fail_unknown_key("workload spec", key,
-                       {"requests", "seed", "rate", "devices", "max_batch",
-                        "queue"});
+                       {"requests", "seed", "rate", "arrival", "devices",
+                        "max_batch", "queue"});
     }
   }
   return spec;
@@ -138,8 +147,24 @@ std::vector<GemmRequest> generate_workload(const WorkloadSpec& spec) {
   for (int i = 0; i < spec.requests; ++i) {
     // Fixed draw order per request — interarrival, class, shape,
     // precision, type, priority — so the stream is a pure function of the
-    // seed regardless of how any draw is consumed downstream.
-    t += -std::log(1.0 - rng.next_double()) / spec.rate_rps;
+    // seed regardless of how any draw is consumed downstream. Every
+    // arrival process consumes the interarrival draw (even when it ignores
+    // it), so the request *mixture* is identical across processes.
+    const double u = rng.next_double();
+    switch (spec.arrival) {
+      case Arrival::Poisson:
+        t += -std::log(1.0 - u) / spec.rate_rps;
+        break;
+      case Arrival::Uniform:
+        t += 1.0 / spec.rate_rps;
+        break;
+      case Arrival::Burst:
+        // kBurstSize requests land at one instant; the gap between bursts
+        // is exponential with mean kBurstSize/rate, preserving the rate.
+        if (i % kBurstSize == 0)
+          t += -std::log(1.0 - u) * kBurstSize / spec.rate_rps;
+        break;
+    }
     const double cls = rng.next_double();
     const Shape* palette;
     std::size_t palette_size;
@@ -186,6 +211,7 @@ Json workload_json(const WorkloadSpec& spec,
   sp["seed"] = static_cast<std::int64_t>(spec.seed);
   sp["requests"] = spec.requests;
   sp["rate_rps"] = spec.rate_rps;
+  sp["arrival"] = to_string(spec.arrival);
   Json devs = Json::array();
   for (simcl::DeviceId id : spec.resolved_devices())
     devs.push_back(simcl::to_string(id));
@@ -220,6 +246,11 @@ Workload workload_from_json(const Json& doc) {
   w.spec.seed = static_cast<std::uint64_t>(sp.at("seed").as_int());
   w.spec.requests = static_cast<int>(sp.at("requests").as_int());
   w.spec.rate_rps = sp.at("rate_rps").as_number();
+  // Traces written before the arrival key existed are Poisson by
+  // construction, so the absent-field default keeps them loading.
+  if (sp.contains("arrival"))
+    w.spec.arrival =
+        parse_arrival("workload spec: arrival", sp.at("arrival").as_string());
   const Json& devs = sp.at("devices");
   for (std::size_t i = 0; i < devs.size(); ++i)
     w.spec.devices.push_back(simcl::device_by_name(devs.at(i).as_string()));

@@ -19,12 +19,39 @@
 
 namespace gemmtune::serve {
 
+/// Arrival process of a synthetic workload. All three consume the same
+/// per-request draw sequence, so switching the process changes *when*
+/// requests arrive but never *what* they are — the shape/precision/type/
+/// priority stream for a given seed is identical across processes.
+enum class Arrival {
+  Poisson,  ///< open-loop exponential interarrivals at rate_rps (default)
+  Uniform,  ///< fixed 1/rate_rps spacing (closed-form, zero jitter)
+  Burst     ///< groups of kBurstSize arrive together, exponential gaps
+};
+
+/// Requests per burst for Arrival::Burst.
+inline constexpr int kBurstSize = 32;
+
+inline const char* to_string(Arrival a) {
+  switch (a) {
+    case Arrival::Poisson: return "poisson";
+    case Arrival::Uniform: return "uniform";
+    case Arrival::Burst: return "burst";
+  }
+  return "?";
+}
+
+/// Parses "poisson" | "uniform" | "burst"; throws the keyval unknown-value
+/// error (naming `context`) otherwise.
+Arrival parse_arrival(const std::string& context, const std::string& value);
+
 /// Parameters naming one synthetic workload plus the scheduler limits a
 /// replay must reuse to be comparable.
 struct WorkloadSpec {
   std::uint64_t seed = 42;
   int requests = 1000;
-  double rate_rps = 5000;  ///< mean arrival rate (exponential interarrival)
+  double rate_rps = 5000;  ///< mean arrival rate
+  Arrival arrival = Arrival::Poisson;
   std::vector<simcl::DeviceId> devices;  ///< empty -> evaluation set
   int max_batch = 16;
   int queue_capacity = 512;
@@ -34,8 +61,9 @@ struct WorkloadSpec {
 };
 
 /// Parses a "key=value,key=value" spec string. Keys: requests, seed, rate,
-/// devices (a '+'-separated list of code names), max_batch, queue. An
-/// empty string yields the defaults. Throws on unknown keys or bad values.
+/// arrival (poisson|uniform|burst), devices (a '+'-separated list of code
+/// names), max_batch, queue. An empty string yields the defaults. Throws
+/// on unknown keys or bad values.
 WorkloadSpec parse_spec(const std::string& text);
 
 /// Generates the spec's request stream, sorted by arrival time.

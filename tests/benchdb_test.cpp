@@ -469,8 +469,14 @@ TEST(BenchDbLowerIsBetter, NameHeuristic) {
   EXPECT_TRUE(lower_is_better("best_seconds"));
   EXPECT_TRUE(lower_is_better("p99_latency_seconds"));
   EXPECT_TRUE(lower_is_better("rejected"));
+  // Serving-core tail percentiles and overload counters.
+  EXPECT_TRUE(lower_is_better("hist.p99_ms"));
+  EXPECT_TRUE(lower_is_better("class.SGEMM.NN.64x64x64.p999_ms"));
+  EXPECT_TRUE(lower_is_better("shed.queue_full"));
+  EXPECT_TRUE(lower_is_better("shed.expired"));
   EXPECT_FALSE(lower_is_better("best_gflops"));
   EXPECT_FALSE(lower_is_better("throughput_rps"));
+  EXPECT_FALSE(lower_is_better("speedup.completed_vs_serial"));
 }
 
 // -------------------------------------------------------------------

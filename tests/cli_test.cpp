@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "cli/cli.hpp"
+#include "common/thread_pool.hpp"
 #include "codegen/gemm_generator.hpp"
 #include "codegen/paper_kernels.hpp"
 #include "kernelir/compile.hpp"
@@ -225,6 +226,76 @@ TEST(Cli, ServeRejectsBadArguments) {
   auto [rc3, out3] = run_cli({"replay", "/nonexistent/trace.json"});
   EXPECT_EQ(rc3, 1);
   EXPECT_NE(out3.find("/nonexistent/trace.json"), std::string::npos);
+}
+
+TEST(Cli, ThreadsFlagRejectsGarbageNamingTheRange) {
+  // Historically "--threads banana" and "--threads 0" were silently
+  // treated as "use the hardware default"; they must fail loudly now.
+  for (const char* bad : {"banana", "0", "-3", "4x", "", "99999"}) {
+    auto [rc, out] = run_cli({"--threads", bad, "devices"});
+    EXPECT_EQ(rc, 1) << "--threads " << bad;
+    EXPECT_NE(out.find("--threads"), std::string::npos) << out;
+    EXPECT_NE(out.find("invalid thread count"), std::string::npos) << out;
+    EXPECT_NE(out.find("1..1024"), std::string::npos)
+        << "error should name the allowed range: " << out;
+  }
+  // A valid value still works.
+  auto [rc, out] = run_cli({"--threads", "2", "devices"});
+  EXPECT_EQ(rc, 0) << out;
+}
+
+TEST(Cli, ThreadsEnvRejectsGarbageNamingTheVariable) {
+  // A prior in-process --threads run leaves the process-wide override
+  // set; clear it so the environment variable is actually consulted.
+  set_thread_override(0);
+  ASSERT_EQ(setenv("GEMMTUNE_THREADS", "lots", 1), 0);
+  auto [rc, out] =
+      run_cli({"serve", "--workload=requests=5,devices=Tahiti"});
+  ASSERT_EQ(unsetenv("GEMMTUNE_THREADS"), 0);
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(out.find("GEMMTUNE_THREADS"), std::string::npos) << out;
+  EXPECT_NE(out.find("invalid thread count"), std::string::npos) << out;
+}
+
+TEST(Cli, ServeCoreFlagsValidated) {
+  auto [rc, out] = run_cli({"serve", "--workload=requests=5",
+                            "--core", "turbo"});
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(out.find("'turbo'"), std::string::npos) << out;
+  EXPECT_NE(out.find("async"), std::string::npos)
+      << "error should list the accepted cores: " << out;
+  auto [rc2, out2] = run_cli({"serve", "--workload=requests=5",
+                              "--shards", "0"});
+  EXPECT_EQ(rc2, 1);
+  EXPECT_NE(out2.find("--shards"), std::string::npos) << out2;
+  auto [rc3, out3] = run_cli({"serve", "--workload=requests=5",
+                              "--slo-ms", "-2"});
+  EXPECT_EQ(rc3, 1);
+  EXPECT_NE(out3.find("--slo-ms"), std::string::npos) << out3;
+}
+
+TEST(Cli, ServeAsyncCoreAndDifferential) {
+  const std::string report =
+      ::testing::TempDir() + "/cli_async_report.json";
+  auto [rc, out] = run_cli(
+      {"serve", "--workload=requests=40,seed=5,devices=Tahiti",
+       "--core", "async", "--report=" + report});
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("async core:"), std::string::npos) << out;
+  EXPECT_NE(out.find("p99"), std::string::npos) << out;
+  std::ifstream f(report);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  const std::string doc = ss.str();
+  EXPECT_NE(doc.find("gemmtune-serve-v1"), std::string::npos);
+  EXPECT_NE(doc.find("\"core\""), std::string::npos);
+  EXPECT_NE(doc.find("hist.p999_ms"), std::string::npos);
+  std::remove(report.c_str());
+  auto [rc2, out2] =
+      run_cli({"serve", "--workload=requests=40,seed=5,devices=Tahiti",
+               "--core", "diff"});
+  EXPECT_EQ(rc2, 0) << out2;
+  EXPECT_NE(out2.find("cores agree: PASS"), std::string::npos) << out2;
 }
 
 }  // namespace

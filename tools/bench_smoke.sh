@@ -33,9 +33,12 @@ CI_DB=bench/db/ci.jsonl
 # Model-driven benches (pure functions of the device tables, so the
 # baselines are tight) plus the micro benches, whose gated scalars are
 # deterministic pass/fail bits, dynamic counters and exact element sums —
-# wall-clock numbers live in the (uncompared) metrics section.
+# wall-clock numbers live in the (uncompared) metrics section. serve_core
+# follows the same contract: its virtual-mode differential and overload
+# accounting are exact, and the realtime >= 1.5x stress result is gated
+# as a bit with the raw wall-clock numbers in gauges.
 SMOKE="table3_impl_vs_vendor fig9_tahiti fig10_nvidia smallsize_direct \
-micro_interp micro_layout"
+micro_interp micro_layout serve_core"
 
 MODE=check
 case "${1:-}" in
@@ -116,6 +119,28 @@ else
     "$GEMMTUNE" bench-db compare "$BASELINES/micro_interp_native.json" \
       "$OUT_DIR/micro_interp_native.json" --rtol "$RTOL" || status=1
   fi
+fi
+
+# Concurrent-serving stress leg: a sustained overload workload through
+# the async core in virtual mode (deterministic at any shard / thread
+# count), so the serve report's throughput, shed counters and
+# p50/p99/p999 tail percentiles ride the same baseline + trajectory gates
+# as the bench reports. The differential run doubles as a correctness
+# smoke: serial and async cores must agree exactly.
+SERVE_WL="requests=500,seed=23,rate=120000,max_batch=8,queue=32"
+SERVE_WL="$SERVE_WL,devices=Tahiti+Kepler+Cayman+SandyBridge"
+"$GEMMTUNE" serve --workload "$SERVE_WL" --core diff \
+  > "$OUT_DIR/serve_stress_diff.txt"
+grep -q "cores agree: PASS" "$OUT_DIR/serve_stress_diff.txt"
+"$GEMMTUNE" serve --workload "$SERVE_WL" --core async --shards 4 \
+  --report "$OUT_DIR/serve_stress.json" > "$OUT_DIR/serve_stress.txt"
+reports+=("$OUT_DIR/serve_stress.json")
+if [[ "$MODE" == "update" ]]; then
+  cp "$OUT_DIR/serve_stress.json" "$BASELINES/serve_stress.json"
+  echo "[serve_stress] baseline updated"
+elif [[ "$MODE" == "check" ]]; then
+  "$GEMMTUNE" bench-db compare "$BASELINES/serve_stress.json" \
+    "$OUT_DIR/serve_stress.json" --rtol "$RTOL" || status=1
 fi
 
 if [[ "$MODE" == "reseed" ]]; then

@@ -2,7 +2,7 @@
 # CI-style verification: the tier-1 build + full test suite, then a
 # ThreadSanitizer build of the concurrency-sensitive tests (the parallel
 # execution layer, the work-group-parallel interpreter, the native JIT
-# program cache, and the trace collector).
+# program cache, the trace collector, and the concurrent serving core).
 #
 # Usage: tools/check.sh [--tier1-only|--tsan-only] [jobs]
 #
@@ -45,14 +45,15 @@ if [[ "$RUN_TIER1" == "1" ]]; then
 fi
 
 if [[ "$RUN_TSAN" == "1" ]]; then
-  echo "== ThreadSanitizer: parallel_test + kernelir_test + vm_test + native_test + trace_test =="
+  echo "== ThreadSanitizer: parallel_test + kernelir_test + vm_test + native_test + trace_test + servecore_test =="
   cmake -B build-tsan -S . -DGEMMTUNE_TSAN=ON \
     "${CMAKE_ARGS[@]+"${CMAKE_ARGS[@]}"}" >/dev/null
   cmake --build build-tsan -j "$JOBS" \
-    --target parallel_test kernelir_test vm_test native_test trace_test
+    --target parallel_test kernelir_test vm_test native_test trace_test \
+             servecore_test
   TSAN_OPTIONS="halt_on_error=1" \
     ctest --test-dir build-tsan --output-on-failure \
-    -R '^(parallel_test|kernelir_test|vm_test|native_test|trace_test)$'
+    -R '^(parallel_test|kernelir_test|vm_test|native_test|trace_test|servecore_test)$'
 fi
 
 echo "== all checks passed =="
