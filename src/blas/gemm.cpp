@@ -10,6 +10,7 @@
 #include "kernelir/interp.hpp"
 #include "layout/packing.hpp"
 #include "trace/trace.hpp"
+#include "tuner/shape.hpp"
 
 namespace gemmtune::blas {
 
@@ -35,66 +36,18 @@ const tuner::TunedKernel& GemmEngine::kernel_for(Precision prec) {
 
 GemmProfile GemmEngine::profile_for(const KernelParams& p, index_t M,
                                     index_t N, index_t K) {
-  const PackedExtents ext = packed_extents(M, N, K, p.Mwg, p.Nwg, p.Kwg);
-  const auto es = static_cast<std::uint64_t>(element_bytes(p.prec));
+  // The paper's future-work combination: shape_cost prices the packed path
+  // against the copy-free direct kernel and returns whichever is cheaper
+  // (direct wins at small sizes where the O(N^2) copy is not amortized).
+  const tuner::ShapeCost c =
+      tuner::shape_cost(model_, p, M, N, K, direct_enabled_);
+  check(c.pack_ok, "GemmEngine: tuned kernel rejected: " + c.reason);
   GemmProfile prof;
-  // Pack A, pack B, pack C, unpack C: each moves one padded buffer through
-  // global memory (the paper's copy overhead, amortized as O(N^2)/O(N^3)).
-  prof.copy_seconds =
-      model_.copy_seconds(es * static_cast<std::uint64_t>(ext.Kp * ext.Mp)) +
-      model_.copy_seconds(es * static_cast<std::uint64_t>(ext.Kp * ext.Np)) +
-      model_.copy_seconds(es * static_cast<std::uint64_t>(ext.Mp * ext.Np)) +
-      model_.copy_seconds(es * static_cast<std::uint64_t>(ext.Mp * ext.Np));
-  const auto e = model_.kernel_estimate(p, ext.Mp, ext.Np, ext.Kp);
-  check(e.ok, "GemmEngine: tuned kernel rejected: " + e.reason);
-  prof.kernel_seconds = e.seconds;
-  prof.total_seconds = prof.copy_seconds + prof.kernel_seconds;
-  prof.gflops = safe_gflops(2.0 * static_cast<double>(M) *
-                                static_cast<double>(N) *
-                                static_cast<double>(K),
-                            prof.total_seconds);
-  return prof;
-}
-
-codegen::KernelParams GemmEngine::direct_params(
-    const codegen::KernelParams& p) {
-  // In-place operands: scalar accesses only; the model treats the strided
-  // column-major reads like row-major operands (no block-layout benefit).
-  // Non-divisible problems need the guarded variant, which exists for the
-  // BA algorithm only — and a bounds-checked small kernel has no use for
-  // software pipelining anyway.
-  codegen::KernelParams q = p;
-  q.vw = 1;
-  q.algo = codegen::Algorithm::BA;
-  q.layout_a = BlockLayout::RowMajor;
-  q.layout_b = BlockLayout::RowMajor;
-  return q;
-}
-
-std::optional<GemmProfile> GemmEngine::direct_profile_for(
-    const codegen::KernelParams& p, index_t M, index_t N, index_t K) {
-  if (!direct_enabled_) return std::nullopt;
-  const bool guarded =
-      M % p.Mwg != 0 || N % p.Nwg != 0 || K % p.Kwg != 0;
-  const codegen::KernelParams q = direct_params(p);
-  if (validate(q, model_.spec())) return std::nullopt;
-  // The model requires tile-aligned extents; the guarded kernel does the
-  // padded amount of work (its guards zero the phantom fringe).
-  const PackedExtents ext = packed_extents(M, N, K, q.Mwg, q.Nwg, q.Kwg);
-  const auto e = model_.kernel_estimate(q, ext.Mp, ext.Np, ext.Kp);
-  if (!e.ok) return std::nullopt;
-  GemmProfile prof;
-  // Strided in-place accesses cost more than the packed kernel's unit-
-  // stride block-major reads, and bounds checks add a little on top
-  // (see DeviceCalib::direct_penalty).
-  prof.kernel_seconds = e.seconds * model_.calib().direct_penalty *
-                        (guarded ? 1.08 : 1.0);
-  prof.total_seconds = prof.kernel_seconds;
-  prof.used_direct = true;
-  prof.gflops = safe_gflops(2.0 * static_cast<double>(M) *
-                                static_cast<double>(N) *
-                                static_cast<double>(K),
-                            prof.total_seconds);
+  prof.total_seconds = c.seconds;
+  prof.copy_seconds = c.copy_seconds;
+  prof.kernel_seconds = c.kernel_seconds;
+  prof.gflops = c.gflops;
+  prof.used_direct = c.used_direct;
   return prof;
 }
 
@@ -102,14 +55,7 @@ GemmProfile GemmEngine::estimate(GemmType, Precision prec, index_t M,
                                  index_t N, index_t K) {
   trace::counter_add("gemm.estimates", 1);
   const tuner::TunedKernel& t = kernel_for(prec);
-  GemmProfile packed = profile_for(t.params, M, N, K);
-  // The paper's future-work combination: use the copy-free kernel when it
-  // beats copy + tuned kernel (it wins at small sizes where the O(N^2)
-  // copy is not amortized).
-  if (const auto direct = direct_profile_for(t.params, M, N, K);
-      direct && direct->total_seconds < packed.total_seconds)
-    return *direct;
-  return packed;
+  return profile_for(t.params, M, N, K);
 }
 
 double GemmEngine::estimate_gflops(GemmType type, Precision prec,
@@ -130,12 +76,11 @@ GemmProfile GemmEngine::gemm(Transpose ta, Transpose tb, index_t M,
   const KernelParams& p = tuned.params;
 
   // Small-size path: run the copy-free kernel in place when it wins.
-  GemmProfile packed_prof = profile_for(p, M, N, K);
-  if (const auto direct = direct_profile_for(p, M, N, K);
-      direct && direct->total_seconds < packed_prof.total_seconds) {
+  GemmProfile prof_est = profile_for(p, M, N, K);
+  if (prof_est.used_direct) {
     trace::Span direct_span("gemm.direct");
     trace::counter_add("gemm.direct_calls", 1);
-    const KernelParams q = direct_params(p);
+    const KernelParams q = tuner::direct_variant(p);
     const bool guarded =
         M % q.Mwg != 0 || N % q.Nwg != 0 || K % q.Kwg != 0;
     const PackedExtents dext = packed_extents(M, N, K, q.Mwg, q.Nwg, q.Kwg);
@@ -165,7 +110,7 @@ GemmProfile GemmEngine::gemm(Transpose ta, Transpose tb, index_t M,
     args[codegen::DirectGemmKernelArgs::beta] = ir::ArgValue::of_float(beta);
     ir::launch(kernel, geo.global, geo.local, args);
     std::memcpy(C.data(), dC->data(), C.size() * sizeof(T));
-    GemmProfile prof = *direct;
+    GemmProfile prof = prof_est;
     if (verify) {
       Matrix<T> Cref = Cin;
       hostblas::gemm_parallel(ta, tb, M, N, K, alpha, A, B, beta, Cref);
@@ -225,7 +170,7 @@ GemmProfile GemmEngine::gemm(Transpose ta, Transpose tb, index_t M,
     trace::counter_add("gemm.merge_bytes", cout.size() * sizeof(T));
   }
 
-  GemmProfile prof = packed_prof;
+  GemmProfile prof = prof_est;
   if (verify) {
     Matrix<T> Cref = Cin;
     hostblas::gemm_parallel(ta, tb, M, N, K, alpha, A, B, beta, Cref);

@@ -76,17 +76,11 @@ class GemmEngine {
   void set_direct_path(bool enabled) { direct_enabled_ = enabled; }
 
  private:
+  /// Prices the problem through tuner::shape_cost (packed vs. guarded
+  /// direct path) and converts the winner to a GemmProfile. Throws when
+  /// the model rejects the packed kernel.
   GemmProfile profile_for(const codegen::KernelParams& p, index_t M,
                           index_t N, index_t K);
-
-  /// Timing of the copy-free path, when the problem divides the tuned
-  /// blocking exactly; nullopt otherwise.
-  std::optional<GemmProfile> direct_profile_for(
-      const codegen::KernelParams& p, index_t M, index_t N, index_t K);
-
-  /// The tuned parameters adapted for in-place operands (vw = 1,
-  /// row-major-equivalent strided access for the model).
-  static codegen::KernelParams direct_params(const codegen::KernelParams& p);
 
   simcl::DeviceId id_;
   perfmodel::PerfModel model_;

@@ -28,6 +28,7 @@
 #include "serve/workload.hpp"
 #include "trace/trace.hpp"
 #include "tuner/results_db.hpp"
+#include "tuner/strategy/strategy.hpp"
 #include "vendor/baselines.hpp"
 
 namespace gemmtune::cli {
@@ -117,15 +118,91 @@ std::pair<double, double> functional_check(simcl::DeviceId id,
   return {prof.max_error, hostblas::gemm_tolerance<T>(K)};
 }
 
+/// Parses the flag tail shared by `tune`, `serve` and `replay`. Returns
+/// the value consumed for `flag` at `i` (advancing `i` for the two-token
+/// form), or nullopt when args[i] is a different flag.
+std::optional<std::string> flag_value(const std::vector<std::string>& args,
+                                      std::size_t& i, const char* flag) {
+  const std::string& a = args[i];
+  const std::string eq = std::string(flag) + "=";
+  if (a.rfind(eq, 0) == 0) return a.substr(eq.size());
+  if (a == flag) {
+    check(i + 1 < args.size(), std::string(flag) + " requires a value");
+    return args[++i];
+  }
+  return std::nullopt;
+}
+
+/// Parses "MxNxK" (e.g. "2048x64x2048") for `tune --shape`.
+tuner::ShapeClass parse_shape_class(const std::string& text, Precision prec) {
+  index_t dims[3] = {0, 0, 0};
+  std::size_t pos = 0;
+  for (int d = 0; d < 3; ++d) {
+    std::size_t used = 0;
+    try {
+      dims[d] = std::stoll(text.substr(pos), &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    check(used > 0 && dims[d] > 0,
+          "--shape expects MxNxK with positive extents, got '" + text + "'");
+    pos += used;
+    if (d < 2) {
+      check(pos < text.size() && text[pos] == 'x',
+            "--shape expects MxNxK with positive extents, got '" + text +
+                "'");
+      ++pos;
+    }
+  }
+  check(pos == text.size(),
+        "--shape expects MxNxK with positive extents, got '" + text + "'");
+  tuner::ShapeClass s;
+  s.prec = prec;
+  s.type = GemmType::NN;
+  s.Mc = tuner::ShapeClass::quantize(dims[0]);
+  s.Nc = tuner::ShapeClass::quantize(dims[1]);
+  s.Kc = tuner::ShapeClass::quantize(dims[2]);
+  return s;
+}
+
 int cmd_tune(const std::vector<std::string>& args, std::ostream& out) {
-  check(args.size() >= 2, "usage: tune <device> <DGEMM|SGEMM> [budget] [out.json]");
-  const auto id = simcl::device_by_name(args[0]);
-  const Precision prec = parse_precision(args[1]);
+  // Flags may be interleaved with the positional arguments; split first so
+  // the classic `tune <device> <DGEMM|SGEMM> [budget] [out.json]` form
+  // keeps working unchanged.
+  std::vector<std::string> pos;
+  std::string strategy_text, shape_text;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (auto v = flag_value(args, i, "--strategy")) strategy_text = *v;
+    else if (auto v = flag_value(args, i, "--shape")) shape_text = *v;
+    else if (args[i].rfind("--", 0) == 0)
+      fail("tune: unknown argument '" + args[i] + "'");
+    else pos.push_back(args[i]);
+  }
+  check(pos.size() >= 2,
+        "usage: tune <device> <DGEMM|SGEMM> [budget] [out.json] "
+        "[--strategy SPEC] [--shape MxNxK]");
+  const auto id = simcl::device_by_name(pos[0]);
+  const Precision prec = parse_precision(pos[1]);
   tuner::SearchOptions opt;
-  if (args.size() >= 3) opt.enumeration.max_candidates = std::stoi(args[2]);
+  if (pos.size() >= 3) opt.enumeration.max_candidates = std::stoi(pos[2]);
+  if (!shape_text.empty()) opt.shape = parse_shape_class(shape_text, prec);
+  const tuner::strategy::StrategySpec spec =
+      strategy_text.empty()
+          ? tuner::strategy::StrategySpec{}  // exhaustive reference
+          : tuner::strategy::parse_strategy_spec(strategy_text);
   tuner::SearchEngine engine(id);
-  tuner::SearchStats stats;
-  const auto best = engine.tune(prec, opt, &stats);
+  tuner::strategy::StrategyStats sstats;
+  const auto best =
+      tuner::strategy::run_strategy(engine, prec, opt, spec, &sstats);
+  const tuner::SearchStats& stats = sstats.search;
+  if (!strategy_text.empty())
+    out << strf("strategy %s: measured %lld of %lld candidates (%.1f%%)\n",
+                to_string(spec.kind),
+                static_cast<long long>(sstats.measured),
+                static_cast<long long>(sstats.space),
+                sstats.fraction_measured * 100);
+  if (opt.shape)
+    out << "shape class: " << to_string(*opt.shape) << "\n";
   out << "evaluated " << stats.stage1_evaluated << " kernels ("
       << stats.stage1_failed << " failed), stage-2 points "
       << stats.stage2_points << "\n";
@@ -148,11 +225,11 @@ int cmd_tune(const std::vector<std::string>& args, std::ostream& out) {
               best.params.Mwg, best.params.Nwg, best.params.Kwg, err, tol,
               err <= tol ? "PASS" : "FAIL");
   check(err <= tol, "tune: winning kernel failed the functional check");
-  if (args.size() >= 4) {
+  if (pos.size() >= 4) {
     tuner::TunedDatabase db;
-    db.put(id, prec, best);
-    db.save_file(args[3]);
-    out << "saved to " << args[3] << "\n";
+    db.put(id, prec, best.shape, best);
+    db.save_file(pos[3]);
+    out << "saved to " << pos[3] << "\n";
   }
   return 0;
 }
@@ -236,6 +313,8 @@ struct ServeCoreOptions {
   int shards = 4;
   double slo_ms = 0;  ///< > 0: override every deadline to arrival + SLO
   bool shed_infeasible = false;
+  std::string tune_strategy;  ///< --tune-strategy: per-class guided warmup
+  int tune_candidates = 1500;  ///< --tune-candidates: per-class search space
 };
 
 /// Writes a report document to `path` (shared by every serve core).
@@ -318,6 +397,8 @@ int run_serve(const serve::WorkloadSpec& spec,
               const ServeCoreOptions& copt, std::ostream& out) {
   serve::ServeOptions sopt;
   sopt.cache_path = cache_path;
+  sopt.tune_strategy = copt.tune_strategy;
+  sopt.tune_candidates = copt.tune_candidates;
   serve::GemmServer server(spec.resolved_devices(), sopt);
   const auto info = server.warmup();
   if (info.cache_ignored)
@@ -325,6 +406,10 @@ int run_serve(const serve::WorkloadSpec& spec,
         << "\n";
   out << strf("warmup: %zu kernels ready (%zu from cache, %zu profiled)\n",
               info.loaded + info.profiled, info.loaded, info.profiled);
+  if (!copt.tune_strategy.empty())
+    out << "tune strategy: " << copt.tune_strategy
+        << " (per shape class, " << copt.tune_candidates
+        << " candidates)\n";
   std::vector<serve::GemmRequest> requests = requests_in;
   if (copt.slo_ms > 0) {
     // One service-level objective for every request, replacing the
@@ -377,21 +462,6 @@ int run_serve(const serve::WorkloadSpec& spec,
   return 0;
 }
 
-/// Parses the flag tail shared by `serve` and `replay`. Returns the value
-/// consumed for `flag` at `i` (advancing `i` for the two-token form), or
-/// nullopt when args[i] is a different flag.
-std::optional<std::string> flag_value(const std::vector<std::string>& args,
-                                      std::size_t& i, const char* flag) {
-  const std::string& a = args[i];
-  const std::string eq = std::string(flag) + "=";
-  if (a.rfind(eq, 0) == 0) return a.substr(eq.size());
-  if (a == flag) {
-    check(i + 1 < args.size(), std::string(flag) + " requires a value");
-    return args[++i];
-  }
-  return std::nullopt;
-}
-
 /// Parses the core-selection flags shared by `serve` and `replay`.
 /// Returns true when args[i] was consumed.
 bool core_flag(const std::vector<std::string>& args, std::size_t& i,
@@ -424,6 +494,22 @@ bool core_flag(const std::vector<std::string>& args, std::size_t& i,
   }
   if (args[i] == "--shed-infeasible") {
     copt.shed_infeasible = true;
+    return true;
+  }
+  if (auto v = flag_value(args, i, "--tune-strategy")) {
+    // Validate eagerly so a typo fails before the workload is generated.
+    (void)tuner::strategy::parse_strategy_spec(*v);
+    copt.tune_strategy = *v;
+    return true;
+  }
+  if (auto v = flag_value(args, i, "--tune-candidates")) {
+    try {
+      std::size_t used = 0;
+      copt.tune_candidates = std::stoi(*v, &used);
+      check(used == v->size() && copt.tune_candidates >= 1, "");
+    } catch (const std::exception&) {
+      fail("--tune-candidates expects an integer >= 1, got '" + *v + "'");
+    }
     return true;
   }
   return false;
@@ -540,12 +626,21 @@ int usage(std::ostream& out) {
          "  emit <device> <DGEMM|SGEMM>\n"
          "  compile <file.cl>\n"
          "  tune <device> <DGEMM|SGEMM> [budget] [out.json]\n"
+         "       [--strategy SPEC] [--shape MxNxK]\n"
+         "                  SPEC selects the search strategy:\n"
+         "                  exhaustive (default), model_topk, anneal, pso,\n"
+         "                  with k=v options, e.g. model_topk,budget=64 or\n"
+         "                  anneal,budget=256,seed=7,restarts=8 or\n"
+         "                  pso,budget=256,particles=16; --shape tunes for\n"
+         "                  one NN shape class (pack cost + direct path)\n"
+         "                  instead of the size-agnostic square sweep\n"
          "  estimate <device> <DGEMM|SGEMM> <NN|NT|TN|TT> <n>\n"
          "  sweep <device> <DGEMM|SGEMM> <maxN>\n"
          "  verify <device> <DGEMM|SGEMM> <M> <N> <K>\n"
          "  serve [--workload SPEC] [--report FILE] [--cache FILE]\n"
          "        [--save-trace FILE] [--core serial|async|diff]\n"
          "        [--shards N] [--slo-ms X] [--shed-infeasible]\n"
+         "        [--tune-strategy SPEC] [--tune-candidates N]\n"
          "                  run the batched GEMM service on a seeded\n"
          "                  synthetic workload; SPEC is k=v pairs, e.g.\n"
          "                  requests=1000,seed=42,rate=2000,max_batch=16,\n"
@@ -556,9 +651,13 @@ int usage(std::ostream& out) {
          "                  workload through both cores and checks they\n"
          "                  agree; --slo-ms X replaces every deadline with\n"
          "                  arrival + X ms; --shed-infeasible also rejects\n"
-         "                  deadline-infeasible requests at admission\n"
+         "                  deadline-infeasible requests at admission;\n"
+         "                  --tune-strategy SPEC tunes a kernel per shape\n"
+         "                  class with the budgeted strategy (see tune)\n"
+         "                  instead of the Table II warmup kernel\n"
          "  replay <trace.json> [--report FILE] [--cache FILE]\n"
          "         [--core C] [--shards N] [--slo-ms X]\n"
+         "         [--tune-strategy SPEC] [--tune-candidates N]\n"
          "                  re-run a workload trace saved by serve\n"
          "  dist [--spec SPEC] [--report FILE]\n"
          "                  run one large GEMM tiled across the whole\n"

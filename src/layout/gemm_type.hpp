@@ -4,7 +4,9 @@
 #pragma once
 
 #include <array>
+#include <string>
 
+#include "common/error.hpp"
 #include "layout/matrix.hpp"
 
 namespace gemmtune {
@@ -19,6 +21,14 @@ inline const char* to_string(GemmType t) {
     case GemmType::TT: return "TT";
   }
   return "?";
+}
+
+inline GemmType gemm_type_from_string(const std::string& s) {
+  if (s == "NN") return GemmType::NN;
+  if (s == "NT") return GemmType::NT;
+  if (s == "TN") return GemmType::TN;
+  if (s == "TT") return GemmType::TT;
+  fail("gemm_type_from_string: unknown GEMM type '" + s + "'");
 }
 
 inline std::array<GemmType, 4> all_gemm_types() {

@@ -655,33 +655,19 @@ AsyncOutcome AsyncServer::run_realtime(
         const Precision prec =
             (round / nd) % 2 == 0 ? Precision::DP : Precision::SP;
         ++round;
-        const simcl::DeviceId id = server_.devices()[d];
-        // Re-profile the tuned kernel (the TunedDatabase refresh)...
-        tuner::TunedDatabase fresh;
-        fresh.put(id, prec,
-                  tuner::profile_kernel(
-                      id, codegen::table2_entry(id, prec).params,
-                      opt.warmup_sweep_n));
-        blas::GemmEngine engine(id, std::move(fresh));
-        // ...then rebuild this device's estimate column off-lock and swap
-        // the rows in briefly. The simulator's profile is deterministic,
-        // so the values match — the machinery (not the numbers) is what
-        // this thread exercises.
+        // Rebuild this device's estimate column from scratch off-lock
+        // (classic: a fresh Table II profile; guided: the per-class tuned
+        // kernels) and swap the rows in briefly. The simulator is
+        // deterministic, so the values match — the machinery (not the
+        // numbers) is what this thread exercises.
         std::vector<ShapeClass> shapes;
         {
           std::shared_lock<std::shared_mutex> lock(est_mu);
           for (const auto& [s, row] : est)
             if (s.prec == prec) shapes.push_back(s);
         }
-        std::vector<PathEstimate> fresh_col(shapes.size());
-        for (std::size_t i = 0; i < shapes.size(); ++i) {
-          const ShapeClass& s = shapes[i];
-          const auto prof = engine.estimate(s.type, s.prec, s.Mc, s.Nc,
-                                            s.Kc);
-          fresh_col[i] =
-              PathEstimate{prof.total_seconds, prof.used_direct,
-                           prof.gflops};
-        }
+        const std::vector<PathEstimate> fresh_col =
+            server_.fresh_estimates(d, prec, shapes);
         {
           std::unique_lock<std::shared_mutex> lock(est_mu);
           for (std::size_t i = 0; i < shapes.size(); ++i) {

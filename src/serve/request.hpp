@@ -19,6 +19,7 @@
 #include "layout/gemm_type.hpp"
 #include "layout/matrix.hpp"
 #include "simcl/device_registry.hpp"
+#include "tuner/shape.hpp"
 
 namespace gemmtune::serve {
 
@@ -44,53 +45,12 @@ struct GemmRequest {
 };
 
 /// Batching key: requests of one shape class share a single dispatch.
-struct ShapeClass {
-  codegen::Precision prec = codegen::Precision::DP;
-  GemmType type = GemmType::NN;
-  index_t Mc = 0, Nc = 0, Kc = 0;  ///< extents rounded up to multiples of 16
-
-  static index_t quantize(index_t n) {
-    return n <= 16 ? 16 : (n + 15) / 16 * 16;
-  }
-  static ShapeClass of(const GemmRequest& r) {
-    return {r.prec, r.type, quantize(r.M), quantize(r.N), quantize(r.K)};
-  }
-
-  friend bool operator<(const ShapeClass& a, const ShapeClass& b) {
-    return std::tuple(static_cast<int>(a.prec), static_cast<int>(a.type),
-                      a.Mc, a.Nc, a.Kc) <
-           std::tuple(static_cast<int>(b.prec), static_cast<int>(b.type),
-                      b.Mc, b.Nc, b.Kc);
-  }
-  friend bool operator==(const ShapeClass& a, const ShapeClass& b) {
-    return !(a < b) && !(b < a);
-  }
-};
-
-/// Stable display/report key for a shape class, e.g. "SGEMM.NN.64x64x64".
-inline std::string to_string(const ShapeClass& c) {
-  return std::string(to_string(c.prec)) + "." + to_string(c.type) + "." +
-         std::to_string(c.Mc) + "x" + std::to_string(c.Nc) + "x" +
-         std::to_string(c.Kc);
-}
-
-/// FNV-1a hash of the class fields; used to pick the admission shard, so
-/// it must depend only on the class (never on arrival order or pointers).
-inline std::uint64_t shape_class_hash(const ShapeClass& c) {
-  std::uint64_t h = 1469598103934665603ull;
-  const auto mix = [&h](std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h ^= (v >> (8 * i)) & 0xff;
-      h *= 1099511628211ull;
-    }
-  };
-  mix(static_cast<std::uint64_t>(c.prec));
-  mix(static_cast<std::uint64_t>(c.type));
-  mix(static_cast<std::uint64_t>(c.Mc));
-  mix(static_cast<std::uint64_t>(c.Nc));
-  mix(static_cast<std::uint64_t>(c.Kc));
-  return h;
-}
+/// The definition lives in tuner/shape.hpp so the tuner can key searches
+/// and databases per class; re-exported here (with its to_string and the
+/// shard-picking hash) so serving code keeps naming it serve::ShapeClass.
+using ShapeClass = tuner::ShapeClass;
+using tuner::shape_class_hash;
+using tuner::to_string;
 
 /// Terminal state of a request.
 enum class RequestStatus {

@@ -25,6 +25,14 @@ GemmServer::GemmServer(std::vector<simcl::DeviceId> devices, ServeOptions opt)
   check(!devices_.empty(), "GemmServer: need at least one device");
   check(opt_.dispatch_overhead_seconds >= 0,
         "GemmServer: dispatch overhead must be >= 0");
+  if (!opt_.tune_strategy.empty()) {
+    strategy_ = tuner::strategy::parse_strategy_spec(opt_.tune_strategy);
+    check(opt_.tune_candidates > 0,
+          "GemmServer: tune_candidates must be > 0");
+    search_engines_.reserve(devices_.size());
+    for (simcl::DeviceId id : devices_)
+      search_engines_.push_back(std::make_unique<tuner::SearchEngine>(id));
+  }
 }
 
 WarmupInfo GemmServer::warmup() {
@@ -99,6 +107,19 @@ void GemmServer::ensure_estimates(
   shapes.erase(std::unique(shapes.begin(), shapes.end()), shapes.end());
   if (shapes.empty()) return;
   trace::Span span("serve.precompute");
+  if (strategy_) {
+    // Guided warmup: tune a kernel per (device, shape class) with the
+    // configured strategy. The outer loop stays serial — each strategy
+    // parallelizes its own search internally, and every strategy is
+    // bit-reproducible at any thread count, so the table is too.
+    for (const ShapeClass& s : shapes) {
+      std::vector<PathEstimate>& per_dev = estimates_[s];
+      per_dev.resize(devices_.size());
+      for (std::size_t d = 0; d < devices_.size(); ++d)
+        per_dev[d] = class_estimate(d, s);
+    }
+    return;
+  }
   const std::int64_t nd = static_cast<std::int64_t>(devices_.size());
   const std::int64_t ns = static_cast<std::int64_t>(shapes.size());
   // Device-major flat index; GemmEngine::estimate is safe to call
@@ -130,6 +151,52 @@ const std::vector<PathEstimate>& GemmServer::estimates_for(
         "GemmServer::estimates_for: no estimates for " + to_string(s) +
             " (call ensure_estimates first)");
   return it->second;
+}
+
+PathEstimate GemmServer::class_estimate(std::size_t d, const ShapeClass& s) {
+  const simcl::DeviceId id = devices_[d];
+  const tuner::TunedKernel& t = class_db_.get_or_tune(id, s.prec, s, [&] {
+    trace::Span tune_span("serve.class_tune");
+    tuner::SearchOptions sopt;
+    sopt.enumeration.max_candidates = opt_.tune_candidates;
+    sopt.threads = opt_.threads;
+    sopt.shape = s;
+    return tuner::strategy::run_strategy(*search_engines_[d], s.prec, sopt,
+                                         *strategy_);
+  });
+  // Price the class kernel with the same cost model the classic path uses
+  // (pack path vs guarded direct), so estimates stay comparable across
+  // modes; the strategy can only improve on the Table II seed it includes.
+  const tuner::ShapeCost c =
+      tuner::shape_cost(engines_[d]->model(), t.params, s.Mc, s.Nc, s.Kc);
+  check(c.ok, "GemmServer::class_estimate: tuned kernel unusable for " +
+                  to_string(s));
+  return PathEstimate{c.seconds, c.used_direct, c.gflops};
+}
+
+std::vector<PathEstimate> GemmServer::fresh_estimates(
+    std::size_t d, Precision prec, const std::vector<ShapeClass>& shapes) {
+  check(d < devices_.size(), "GemmServer::fresh_estimates: bad device");
+  std::vector<PathEstimate> col(shapes.size());
+  if (strategy_) {
+    for (std::size_t i = 0; i < shapes.size(); ++i)
+      col[i] = class_estimate(d, shapes[i]);
+    return col;
+  }
+  // Classic refresh: re-profile the Table II kernel into a fresh engine
+  // and re-derive the rows, exactly as warmup would.
+  const simcl::DeviceId id = devices_[d];
+  tuner::TunedDatabase fresh;
+  fresh.put(id, prec,
+            tuner::profile_kernel(id, codegen::table2_entry(id, prec).params,
+                                  opt_.warmup_sweep_n));
+  blas::GemmEngine engine(id, std::move(fresh));
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    const ShapeClass& s = shapes[i];
+    const auto prof = engine.estimate(s.type, s.prec, s.Mc, s.Nc, s.Kc);
+    col[i] = PathEstimate{prof.total_seconds, prof.used_direct, prof.gflops};
+  }
+  return col;
 }
 
 double GemmServer::dist_seconds(const GemmRequest& r) {
@@ -460,6 +527,8 @@ Json build_report(const WorkloadSpec& spec,
   options["max_batch_ms"] = opt.max_batch_seconds * 1e3;
   options["warmup_sweep_n"] = opt.warmup_sweep_n;
   options["dist_threshold_n"] = opt.dist_threshold_n;
+  options["tune_strategy"] =
+      opt.tune_strategy.empty() ? "table2" : opt.tune_strategy;
   doc["options"] = std::move(options);
 
   Json scalars = Json::object();

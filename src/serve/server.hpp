@@ -25,6 +25,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -35,6 +36,7 @@
 #include "dist/executor.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/workload.hpp"
+#include "tuner/strategy/strategy.hpp"
 
 namespace gemmtune::serve {
 
@@ -69,6 +71,14 @@ struct ServeOptions {
   /// generated workload's largest shape (2048), so distribution only
   /// triggers for explicitly oversized requests.
   index_t dist_threshold_n = 4096;
+  /// Input-aware warmup: a --strategy spec (e.g. "model_topk,budget=64").
+  /// When set, the estimate table is built from kernels tuned per observed
+  /// shape class by the budgeted strategy instead of the size-agnostic
+  /// Table II warmup kernel. Empty keeps the classic behavior.
+  std::string tune_strategy;
+  /// Enumeration budget for each per-class strategy tune (the candidate
+  /// space the strategy searches within). Only used with tune_strategy.
+  int tune_candidates = 1500;
 };
 
 /// What warmup did (surfaced by the CLI).
@@ -162,11 +172,38 @@ class GemmServer {
   /// the executor over the warmed engines on first use).
   double dist_seconds(const GemmRequest& r);
 
+  /// Recomputes one device's estimate column for `shapes` from scratch
+  /// (the async core's re-tuner exercises this refresh path). Classic
+  /// mode re-profiles the Table II kernel into a fresh engine; guided
+  /// mode re-derives the rows from the per-class tuned kernels. Either
+  /// way the simulator is deterministic, so the values match the table.
+  std::vector<PathEstimate> fresh_estimates(
+      std::size_t d, codegen::Precision prec,
+      const std::vector<ShapeClass>& shapes);
+
+  /// Distinct per-shape-class kernels tuned so far (guided mode only).
+  std::size_t class_kernels() const { return class_db_.size(); }
+
  private:
+  /// One device x shape-class estimate via the guided strategy: tunes a
+  /// kernel for the class (memoized in class_db_) and prices it with
+  /// shape_cost, the same cost model the classic path uses.
+  PathEstimate class_estimate(std::size_t d, const ShapeClass& s);
+
   std::vector<simcl::DeviceId> devices_;
   ServeOptions opt_;
+  /// Parsed opt_.tune_strategy (parsed eagerly so a bad spec fails at
+  /// construction, not mid-warmup); empty = classic warmup.
+  std::optional<tuner::strategy::StrategySpec> strategy_;
   ThreadPool pool_;
   std::vector<std::unique_ptr<blas::GemmEngine>> engines_;
+  /// Per-shape-class tuned kernels (guided mode); get_or_tune dedupes
+  /// concurrent tunes of the same class.
+  tuner::TunedDatabase class_db_;
+  /// One SearchEngine per device (guided mode, built lazily): its
+  /// candidate-space memo makes the enumeration walk a once-per-device
+  /// cost instead of once per shape class.
+  std::vector<std::unique_ptr<tuner::SearchEngine>> search_engines_;
   /// shape class -> per-device estimate (index parallel to devices_).
   std::map<ShapeClass, std::vector<PathEstimate>> estimates_;
   std::unique_ptr<dist::DistExecutor> dist_;

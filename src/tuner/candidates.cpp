@@ -27,6 +27,19 @@ constexpr int kVw[] = {1, 2, 4, 8};
 
 }  // namespace
 
+GridAxes grid_axes(bool include_row_major) {
+  GridAxes g;
+  g.Mwg.assign(std::begin(kMwg), std::end(kMwg));
+  g.Nwg.assign(std::begin(kNwg), std::end(kNwg));
+  g.Kwg.assign(std::begin(kKwg), std::end(kKwg));
+  g.dim.assign(std::begin(kDim), std::end(kDim));
+  g.Kwi.assign(std::begin(kKwi), std::end(kKwi));
+  g.vw.assign(std::begin(kVw), std::end(kVw));
+  g.layouts = {BlockLayout::CBL, BlockLayout::RBL};
+  if (include_row_major) g.layouts.push_back(BlockLayout::RowMajor);
+  return g;
+}
+
 std::vector<KernelParams> enumerate_candidates(simcl::DeviceId id,
                                                Precision prec,
                                                const EnumOptions& opt,

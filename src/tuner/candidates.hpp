@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "codegen/params.hpp"
+#include "layout/block_layout.hpp"
 #include "simcl/device_registry.hpp"
 
 namespace gemmtune::tuner {
@@ -40,5 +41,14 @@ struct EnumStats {
 std::vector<codegen::KernelParams> enumerate_candidates(
     simcl::DeviceId id, codegen::Precision prec, const EnumOptions& opt,
     EnumStats* stats = nullptr);
+
+/// The discretized value lists the enumerator walks. Guided strategies
+/// (annealing / PSO neighbor moves) step along exactly these axes so every
+/// point they can propose is a point the exhaustive walk could visit.
+struct GridAxes {
+  std::vector<int> Mwg, Nwg, Kwg, dim, Kwi, vw;
+  std::vector<BlockLayout> layouts;
+};
+GridAxes grid_axes(bool include_row_major);
 
 }  // namespace gemmtune::tuner

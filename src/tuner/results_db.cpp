@@ -16,24 +16,16 @@ using codegen::Precision;
 TunedKernel profile_kernel(simcl::DeviceId id, const KernelParams& params,
                            std::int64_t stage2_max_n) {
   SearchEngine engine(id);
-  TunedKernel t;
-  t.params = params;
-  const std::int64_t n1 = engine.model().stage1_size(params);
-  const auto e1 = engine.model().kernel_estimate(params, n1, n1, n1);
-  check(e1.ok, "profile_kernel: kernel rejected: " + e1.reason);
-  t.stage1_gflops = e1.gflops;
-  t.curve = engine.sweep(params, stage2_max_n);
-  for (const auto& [n, g] : t.curve) {
-    if (g > t.best_gflops) {
-      t.best_gflops = g;
-      t.best_n = n;
-    }
-  }
-  return t;
+  SearchOptions opt;
+  opt.stage2_max_n = stage2_max_n;
+  return engine.profile_candidate(params, opt);
 }
 
-std::string TunedDatabase::key(simcl::DeviceId id, Precision prec) {
-  return simcl::to_string(id) + "/" + to_string(prec);
+std::string TunedDatabase::key(simcl::DeviceId id, Precision prec,
+                               const std::optional<ShapeClass>& shape) {
+  std::string k = simcl::to_string(id) + "/" + to_string(prec);
+  if (shape) k += "@" + to_string(*shape);
+  return k;
 }
 
 TunedDatabase::TunedDatabase(TunedDatabase&& other) noexcept {
@@ -54,24 +46,41 @@ std::size_t TunedDatabase::size() const {
   return results_.size();
 }
 
-std::optional<TunedKernel> TunedDatabase::find(simcl::DeviceId id,
-                                               Precision prec) const {
+std::optional<TunedKernel> TunedDatabase::find(
+    simcl::DeviceId id, Precision prec,
+    const std::optional<ShapeClass>& shape) const {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = results_.find(key(id, prec));
+  auto it = results_.find(key(id, prec, shape));
   if (it == results_.end()) return std::nullopt;
   return it->second;
 }
 
 void TunedDatabase::put(simcl::DeviceId id, Precision prec,
                         TunedKernel result) {
+  put(id, prec, std::nullopt, std::move(result));
+}
+
+void TunedDatabase::put(simcl::DeviceId id, Precision prec,
+                        const std::optional<ShapeClass>& shape,
+                        TunedKernel result) {
   std::lock_guard<std::mutex> lock(mu_);
-  results_[key(id, prec)] = std::move(result);
+  results_[key(id, prec, shape)] = std::move(result);
 }
 
 const TunedKernel& TunedDatabase::get_or_tune(simcl::DeviceId id,
                                               Precision prec,
                                               const SearchOptions& opt) {
-  const std::string k = key(id, prec);
+  return get_or_tune(id, prec, opt.shape, [&]() {
+    SearchEngine engine(id);
+    return engine.tune(prec, opt);
+  });
+}
+
+const TunedKernel& TunedDatabase::get_or_tune(
+    simcl::DeviceId id, Precision prec,
+    const std::optional<ShapeClass>& shape,
+    const std::function<TunedKernel()>& tune_fn) {
+  const std::string k = key(id, prec, shape);
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     auto it = results_.find(k);
@@ -85,8 +94,7 @@ const TunedKernel& TunedDatabase::get_or_tune(simcl::DeviceId id,
   lock.unlock();
   TunedKernel tuned;
   try {
-    SearchEngine engine(id);
-    tuned = engine.tune(prec, opt);
+    tuned = tune_fn();
   } catch (...) {
     lock.lock();
     tuning_.erase(k);
@@ -117,6 +125,16 @@ std::string TunedDatabase::save_json() const {
       curve.push_back(std::move(pt));
     }
     entry["curve"] = std::move(curve);
+    if (t.shape) {
+      // Precision is already carried by the params; store the rest of the
+      // class so old readers (which ignore unknown fields) keep working.
+      Json sc = Json::object();
+      sc["type"] = std::string(to_string(t.shape->type));
+      sc["Mc"] = t.shape->Mc;
+      sc["Nc"] = t.shape->Nc;
+      sc["Kc"] = t.shape->Kc;
+      entry["shape_class"] = std::move(sc);
+    }
     root[k] = std::move(entry);
   }
   return root.dump(2);
@@ -135,6 +153,18 @@ TunedDatabase TunedDatabase::load_json(const std::string& text) {
     for (std::size_t i = 0; i < curve.size(); ++i) {
       t.curve.emplace_back(curve.at(i).at(std::size_t{0}).as_int(),
                            curve.at(i).at(std::size_t{1}).as_number());
+    }
+    if (entry.contains("shape_class")) {
+      // Databases written before shape-class keys existed simply lack this
+      // field; their rows load as class-agnostic results.
+      const Json& sc = entry.at("shape_class");
+      ShapeClass s;
+      s.prec = t.params.prec;
+      s.type = gemm_type_from_string(sc.at("type").as_string());
+      s.Mc = sc.at("Mc").as_int();
+      s.Nc = sc.at("Nc").as_int();
+      s.Kc = sc.at("Kc").as_int();
+      t.shape = s;
     }
     db.results_[k] = std::move(t);
   }

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -29,17 +30,34 @@ class TunedDatabase {
   TunedDatabase(TunedDatabase&& other) noexcept;
   TunedDatabase& operator=(TunedDatabase&& other) noexcept;
 
-  /// Looks up a stored result.
-  std::optional<TunedKernel> find(simcl::DeviceId id,
-                                  codegen::Precision prec) const;
+  /// Looks up a stored result. A shape class addresses the per-class row;
+  /// nullopt addresses the size-agnostic one.
+  std::optional<TunedKernel> find(
+      simcl::DeviceId id, codegen::Precision prec,
+      const std::optional<ShapeClass>& shape = std::nullopt) const;
 
-  /// Stores (or replaces) a result.
+  /// Stores (or replaces) a result under the size-agnostic key.
   void put(simcl::DeviceId id, codegen::Precision prec, TunedKernel result);
 
-  /// Returns the stored result, running `engine.tune` on a miss.
+  /// Stores (or replaces) a result under a shape-class key (nullopt is the
+  /// size-agnostic key).
+  void put(simcl::DeviceId id, codegen::Precision prec,
+           const std::optional<ShapeClass>& shape, TunedKernel result);
+
+  /// Returns the stored result, running `engine.tune` on a miss. The row
+  /// is keyed per shape class when opt.shape is set.
   const TunedKernel& get_or_tune(simcl::DeviceId id,
                                  codegen::Precision prec,
                                  const SearchOptions& opt = {});
+
+  /// Generic dedup-and-cache: returns the stored result for the key,
+  /// running `tune_fn` on a miss. Concurrent callers for the same key
+  /// block on the one in-flight computation. This is how strategy-driven
+  /// tunes (which live above this library) share the cache.
+  const TunedKernel& get_or_tune(
+      simcl::DeviceId id, codegen::Precision prec,
+      const std::optional<ShapeClass>& shape,
+      const std::function<TunedKernel()>& tune_fn);
 
   std::size_t size() const;
 
@@ -57,7 +75,8 @@ class TunedDatabase {
   static TunedDatabase paper_seeded();
 
  private:
-  static std::string key(simcl::DeviceId id, codegen::Precision prec);
+  static std::string key(simcl::DeviceId id, codegen::Precision prec,
+                         const std::optional<ShapeClass>& shape);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;        ///< signals a finished tune

@@ -28,6 +28,95 @@ std::vector<std::pair<std::int64_t, double>> SearchEngine::sweep(
   return curve;
 }
 
+std::vector<KernelParams> SearchEngine::candidate_space(
+    Precision prec, const SearchOptions& opt, EnumStats* stats) const {
+  // Everything that shapes the space (thread counts never do — the list
+  // is bit-identical for any of them). A server tuning dozens of shape
+  // classes hits the same key every time.
+  const std::string key =
+      std::string(to_string(prec)) + "|" +
+      std::to_string(opt.enumeration.max_candidates) + "|" +
+      std::to_string(opt.enumeration.seed) + "|" +
+      (opt.enumeration.include_row_major ? "rm" : "cm") + "|" +
+      (opt.seed_with_table2 ? "t2" : "-") + "|" +
+      (opt.restrict_algo ? to_string(*opt.restrict_algo) : "*") + "|" +
+      (opt.restrict_local ? (*opt.restrict_local ? "L" : "l") : "*");
+  {
+    std::lock_guard<std::mutex> lock(space_mu_);
+    const auto it = space_cache_.find(key);
+    if (it != space_cache_.end()) {
+      if (stats) *stats = it->second.second;
+      return it->second.first;
+    }
+  }
+  EnumOptions eopt = opt.enumeration;
+  if (eopt.threads == 0) eopt.threads = opt.threads;
+  EnumStats est;
+  std::vector<KernelParams> candidates;
+  {
+    trace::Span span("tuner.enumerate");
+    candidates = enumerate_candidates(id_, prec, eopt, &est);
+  }
+  if (opt.seed_with_table2) {
+    candidates.push_back(codegen::table2_entry(id_, prec).params);
+  }
+  if (opt.restrict_algo || opt.restrict_local) {
+    std::erase_if(candidates, [&](const KernelParams& p) {
+      if (opt.restrict_algo && p.algo != *opt.restrict_algo) return true;
+      if (opt.restrict_local &&
+          (p.share_a || p.share_b) != *opt.restrict_local)
+        return true;
+      return false;
+    });
+  }
+  if (stats) *stats = est;
+  std::lock_guard<std::mutex> lock(space_mu_);
+  space_cache_.emplace(key, std::make_pair(candidates, est));
+  return candidates;
+}
+
+double SearchEngine::measure_candidate(const KernelParams& p,
+                                       const SearchOptions& opt) const {
+  if (opt.shape) {
+    const ShapeClass& s = *opt.shape;
+    const ShapeCost c = shape_cost(model_, p, s.Mc, s.Nc, s.Kc);
+    return c.ok ? c.gflops : 0;
+  }
+  const std::int64_t n1 = model_.stage1_size(p);
+  const auto e = model_.kernel_estimate(p, n1, n1, n1);
+  return e.ok ? e.gflops : 0;
+}
+
+TunedKernel SearchEngine::profile_candidate(const KernelParams& p,
+                                            const SearchOptions& opt) const {
+  TunedKernel t;
+  t.params = p;
+  if (opt.shape) {
+    const ShapeClass& s = *opt.shape;
+    const ShapeCost c = shape_cost(model_, p, s.Mc, s.Nc, s.Kc);
+    check(c.ok, "profile_candidate: kernel unusable for shape class " +
+                    to_string(s));
+    t.stage1_gflops = c.gflops;
+    t.best_gflops = c.gflops;
+    t.best_n = s.Nc;
+    t.curve = {{s.Nc, c.gflops}};
+    t.shape = s;
+    return t;
+  }
+  const std::int64_t n1 = model_.stage1_size(p);
+  const auto e1 = model_.kernel_estimate(p, n1, n1, n1);
+  check(e1.ok, "profile_kernel: kernel rejected: " + e1.reason);
+  t.stage1_gflops = e1.gflops;
+  t.curve = sweep(p, opt.stage2_max_n);
+  for (const auto& [n, g] : t.curve) {
+    if (g > t.best_gflops) {
+      t.best_gflops = g;
+      t.best_n = n;
+    }
+  }
+  return t;
+}
+
 namespace {
 
 struct Scored {
@@ -48,25 +137,8 @@ TunedKernel SearchEngine::tune(Precision prec, const SearchOptions& opt,
                                SearchStats* stats) const {
   trace::Span tune_span("tuner.tune");
   SearchStats st;
-  EnumOptions eopt = opt.enumeration;
-  if (eopt.threads == 0) eopt.threads = opt.threads;
-  std::vector<KernelParams> candidates;
-  {
-    trace::Span span("tuner.enumerate");
-    candidates = enumerate_candidates(id_, prec, eopt, &st.enumeration);
-  }
-  if (opt.seed_with_table2) {
-    candidates.push_back(codegen::table2_entry(id_, prec).params);
-  }
-  if (opt.restrict_algo || opt.restrict_local) {
-    std::erase_if(candidates, [&](const KernelParams& p) {
-      if (opt.restrict_algo && p.algo != *opt.restrict_algo) return true;
-      if (opt.restrict_local &&
-          (p.share_a || p.share_b) != *opt.restrict_local)
-        return true;
-      return false;
-    });
-  }
+  const std::vector<KernelParams> candidates =
+      candidate_space(prec, opt, &st.enumeration);
   check(!candidates.empty(), "tune: no valid candidates for device");
 
   // An explicit per-call thread count gets its own pool; otherwise share
@@ -76,9 +148,11 @@ TunedKernel SearchEngine::tune(Precision prec, const SearchOptions& opt,
   ThreadPool& pool = local_pool ? *local_pool : ThreadPool::global();
   const auto workers = static_cast<std::size_t>(pool.size());
 
-  // Stage 1: single-size measurement of every candidate, fanned out over
-  // the pool. Chunks are contiguous and merged in chunk order, so the
-  // scored list is in candidate-index order for any thread count.
+  // Stage 1: single measurement of every candidate — the stage-1 square
+  // size, or the shape class's delivered cost when opt.shape is set —
+  // fanned out over the pool. Chunks are contiguous and merged in chunk
+  // order, so the scored list is in candidate-index order for any thread
+  // count.
   std::vector<Scored> scored;
   std::size_t keep = 0;
   {
@@ -92,14 +166,13 @@ TunedKernel SearchEngine::tune(Precision prec, const SearchOptions& opt,
           auto& scored = part_scored[static_cast<std::size_t>(worker)];
           for (std::int64_t i = begin; i < end; ++i) {
             const KernelParams& p = candidates[static_cast<std::size_t>(i)];
-            const std::int64_t n1 = model_.stage1_size(p);
-            const auto e = model_.kernel_estimate(p, n1, n1, n1);
+            const double g = measure_candidate(p, opt);
             ++part_evaluated[static_cast<std::size_t>(worker)];
-            if (!e.ok) {
+            if (g <= 0) {
               ++part_failed[static_cast<std::size_t>(worker)];
               continue;
             }
-            scored.push_back({e.gflops, static_cast<std::size_t>(i)});
+            scored.push_back({g, static_cast<std::size_t>(i)});
           }
         });
     for (std::size_t w = 0; w < workers; ++w) {
@@ -123,11 +196,17 @@ TunedKernel SearchEngine::tune(Precision prec, const SearchOptions& opt,
     scored.resize(keep);
   }
 
-  // Stage 2: sweep the finalists over sizes <= stage2_max_n in parallel,
-  // then reduce in stage-1 rank order; pick the kernel with the highest
-  // performance at any size (ties go to the better stage-1 rank).
   TunedKernel best;
-  {
+  if (opt.shape) {
+    // Input-aware search: the measurement already IS the objective (the
+    // delivered cost of this shape class), so there is no stage-2 size
+    // sweep — the top-ranked candidate is the winner.
+    const Scored& top = scored.front();
+    best = profile_candidate(candidates[top.index], opt);
+  } else {
+    // Stage 2: sweep the finalists over sizes <= stage2_max_n in parallel,
+    // then reduce in stage-1 rank order; pick the kernel with the highest
+    // performance at any size (ties go to the better stage-1 rank).
     trace::Span stage2_span("tuner.stage2");
     std::vector<SweepResult> sweeps(keep);
     pool.parallel_for(static_cast<std::int64_t>(keep),
@@ -163,18 +242,18 @@ TunedKernel SearchEngine::tune(Precision prec, const SearchOptions& opt,
         best.curve = std::move(r.curve);
       }
     }
-  }
-  if (best.best_gflops <= 0) {
-    // Every finalist's sweep came back empty (e.g. stage2_max_n below the
-    // smallest blocking LCM). Fall back to the stage-1 measurement of the
-    // top-ranked finalist rather than failing the whole search.
-    st.used_stage1_fallback = true;
-    const Scored& top = scored.front();
-    best.params = candidates[top.index];
-    best.stage1_gflops = top.gflops;
-    best.best_gflops = top.gflops;
-    best.best_n = model_.stage1_size(best.params);
-    best.curve = {{best.best_n, top.gflops}};
+    if (best.best_gflops <= 0) {
+      // Every finalist's sweep came back empty (e.g. stage2_max_n below
+      // the smallest blocking LCM). Fall back to the stage-1 measurement
+      // of the top-ranked finalist rather than failing the whole search.
+      st.used_stage1_fallback = true;
+      const Scored& top = scored.front();
+      best.params = candidates[top.index];
+      best.stage1_gflops = top.gflops;
+      best.best_gflops = top.gflops;
+      best.best_n = model_.stage1_size(best.params);
+      best.curve = {{best.best_n, top.gflops}};
+    }
   }
   if (trace::enabled()) {
     trace::counter_add("tuner.candidates", candidates.size());

@@ -13,6 +13,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -22,6 +24,7 @@
 #include "perfmodel/model.hpp"
 #include "simcl/device_registry.hpp"
 #include "tuner/candidates.hpp"
+#include "tuner/shape.hpp"
 
 namespace gemmtune::tuner {
 
@@ -43,6 +46,13 @@ struct SearchOptions {
   /// local memory. Seeds that violate a restriction are dropped.
   std::optional<codegen::Algorithm> restrict_algo;
   std::optional<bool> restrict_local;
+
+  /// Input-aware search: when set, candidates are scored by the delivered
+  /// cost of this shape class (shape_cost: pack overhead + kernel, or the
+  /// guarded direct kernel when it wins) at (Mc, Nc, Kc) instead of the
+  /// size-agnostic stage-1/stage-2 square sweep. The selected kernel
+  /// carries the class so a TunedDatabase can key it per shape.
+  std::optional<ShapeClass> shape;
 };
 
 /// Search diagnostics.
@@ -68,6 +78,9 @@ struct TunedKernel {
   std::int64_t best_n = 0;   ///< size achieving best_gflops
   /// Stage-2 curve of the winning kernel: (N, GFlop/s).
   std::vector<std::pair<std::int64_t, double>> curve;
+  /// The shape class this kernel was tuned for; empty for the classic
+  /// size-agnostic search.
+  std::optional<ShapeClass> shape;
 };
 
 /// Search engine bound to one device.
@@ -90,11 +103,40 @@ class SearchEngine {
   std::vector<std::pair<std::int64_t, double>> sweep(
       const codegen::KernelParams& p, std::int64_t max_n) const;
 
+  /// The candidate space the search runs over: enumeration, the Table II
+  /// seed (appended last when seed_with_table2), and the restriction
+  /// filters. Every strategy — exhaustive or guided — draws from exactly
+  /// this list, in exactly this order. The space is memoized per option
+  /// set (opt.shape does not change it), so a server tuning many shape
+  /// classes pays the cross-product walk once per device.
+  std::vector<codegen::KernelParams> candidate_space(
+      codegen::Precision prec, const SearchOptions& opt,
+      EnumStats* stats = nullptr) const;
+
+  /// One "measurement" of a candidate: the stage-1 square score, or — when
+  /// opt.shape is set — the delivered GFlop/s of that shape class. Returns
+  /// <= 0 when the model rejects the kernel. Pure and deterministic.
+  double measure_candidate(const codegen::KernelParams& p,
+                           const SearchOptions& opt) const;
+
+  /// Full profile of one winning candidate, matching what tune() records:
+  /// stage-1 score plus stage-2 sweep (classic), or the single shape-class
+  /// point (opt.shape set; throws if the model rejects the kernel there).
+  TunedKernel profile_candidate(const codegen::KernelParams& p,
+                                const SearchOptions& opt) const;
+
+  simcl::DeviceId device_id() const { return id_; }
   const perfmodel::PerfModel& model() const { return model_; }
 
  private:
   simcl::DeviceId id_;
   perfmodel::PerfModel model_;
+  /// candidate_space memo: space key -> (candidates, enum stats). Guarded
+  /// by space_mu_; safe to share one engine across threads.
+  mutable std::mutex space_mu_;
+  mutable std::map<std::string,
+                   std::pair<std::vector<codegen::KernelParams>, EnumStats>>
+      space_cache_;
 };
 
 }  // namespace gemmtune::tuner

@@ -1,0 +1,33 @@
+// The reference strategy: the paper's exhaustive two-stage search,
+// verbatim. Every candidate in the space is measured.
+#include "tuner/strategy/detail.hpp"
+
+namespace gemmtune::tuner::strategy::detail {
+
+namespace {
+
+class ExhaustiveStrategy final : public SearchStrategy {
+ public:
+  StrategyKind kind() const override { return StrategyKind::Exhaustive; }
+
+  TunedKernel run(const SearchEngine& engine, codegen::Precision prec,
+                  const SearchOptions& opt, const StrategySpec&,
+                  StrategyStats* stats) const override {
+    SearchStats st;
+    TunedKernel t = engine.tune(prec, opt, &st);
+    if (stats) {
+      stats->space = st.stage1_evaluated;
+      stats->measured = st.stage1_evaluated;
+      stats->search = std::move(st);
+    }
+    return t;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<SearchStrategy> make_exhaustive() {
+  return std::make_unique<ExhaustiveStrategy>();
+}
+
+}  // namespace gemmtune::tuner::strategy::detail

@@ -1,0 +1,463 @@
+// Guided-autotuning tests: --strategy spec parsing, strategy equivalence
+// and budget accounting, bit-reproducibility of the stochastic searches
+// across thread counts, the input-aware (shape-class) search path, the
+// shape-keyed TunedDatabase rows, and the guided serve warmup.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "codegen/paper_kernels.hpp"
+#include "serve/server.hpp"
+#include "serve/workload.hpp"
+#include "tuner/results_db.hpp"
+#include "tuner/search.hpp"
+#include "tuner/shape.hpp"
+#include "tuner/strategy/strategy.hpp"
+
+namespace gemmtune {
+namespace {
+
+using codegen::Precision;
+using simcl::DeviceId;
+using tuner::SearchEngine;
+using tuner::SearchOptions;
+using tuner::ShapeClass;
+using tuner::TunedDatabase;
+using tuner::TunedKernel;
+using tuner::strategy::StrategyKind;
+using tuner::strategy::StrategySpec;
+using tuner::strategy::StrategyStats;
+using tuner::strategy::parse_strategy_spec;
+using tuner::strategy::run_strategy;
+
+SearchOptions small_search(int candidates = 400) {
+  SearchOptions opt;
+  opt.enumeration.max_candidates = candidates;
+  return opt;
+}
+
+ShapeClass shape_of(Precision prec, index_t M, index_t N, index_t K,
+                    GemmType type = GemmType::NN) {
+  ShapeClass s;
+  s.prec = prec;
+  s.type = type;
+  s.Mc = ShapeClass::quantize(M);
+  s.Nc = ShapeClass::quantize(N);
+  s.Kc = ShapeClass::quantize(K);
+  return s;
+}
+
+// --- Spec parsing (the --strategy keyval satellite) ---
+
+TEST(StrategySpecTest, ParsesNamesAndOptions) {
+  EXPECT_EQ(parse_strategy_spec("exhaustive").kind,
+            StrategyKind::Exhaustive);
+  EXPECT_EQ(parse_strategy_spec("model_topk").kind, StrategyKind::ModelTopK);
+
+  const StrategySpec a = parse_strategy_spec("anneal,budget=128,seed=9,"
+                                             "restarts=4");
+  EXPECT_EQ(a.kind, StrategyKind::Anneal);
+  EXPECT_EQ(a.budget, 128);
+  EXPECT_EQ(a.seed, 9u);
+  EXPECT_EQ(a.restarts, 4);
+
+  const StrategySpec p = parse_strategy_spec("pso,particles=8,budget=64");
+  EXPECT_EQ(p.kind, StrategyKind::Pso);
+  EXPECT_EQ(p.particles, 8);
+  EXPECT_EQ(p.budget, 64);
+}
+
+TEST(StrategySpecTest, UnknownNameListsAllowedSet) {
+  try {
+    parse_strategy_spec("genetic,budget=10");
+    FAIL() << "expected Error for unknown strategy";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown value 'genetic'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("exhaustive, model_topk, anneal, pso"),
+              std::string::npos)
+        << msg;
+  }
+}
+
+TEST(StrategySpecTest, UnknownKeyListsAllowedSet) {
+  try {
+    parse_strategy_spec("anneal,temperature=3");
+    FAIL() << "expected Error for unknown key";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown key 'temperature'"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("restarts"), std::string::npos) << msg;
+  }
+}
+
+TEST(StrategySpecTest, StrategySpecificKeysAreScoped) {
+  // particles belongs to pso only; anneal must reject it (and vice versa).
+  EXPECT_THROW(parse_strategy_spec("anneal,particles=8"), Error);
+  EXPECT_THROW(parse_strategy_spec("pso,restarts=4"), Error);
+  EXPECT_THROW(parse_strategy_spec("exhaustive,restarts=4"), Error);
+}
+
+TEST(StrategySpecTest, RejectsBadValues) {
+  EXPECT_THROW(parse_strategy_spec("model_topk,budget=abc"), Error);
+  EXPECT_THROW(parse_strategy_spec("model_topk,budget=0"), Error);
+  EXPECT_THROW(parse_strategy_spec("anneal,restarts=0"), Error);
+  EXPECT_THROW(parse_strategy_spec("pso,particles=1"), Error);
+}
+
+// --- Strategy equivalence and budget accounting ---
+
+TEST(StrategyTest, ExhaustiveMatchesEngineTune) {
+  const SearchEngine engine(DeviceId::Tahiti);
+  const SearchOptions opt = small_search();
+  tuner::SearchStats st;
+  const TunedKernel direct = engine.tune(Precision::DP, opt, &st);
+  StrategyStats sst;
+  const TunedKernel via =
+      run_strategy(engine, Precision::DP, opt, {}, &sst);
+  EXPECT_EQ(via.params.key(), direct.params.key());
+  EXPECT_EQ(via.best_gflops, direct.best_gflops);
+  EXPECT_EQ(sst.measured, st.stage1_evaluated);
+  EXPECT_DOUBLE_EQ(sst.fraction_measured, 1.0);
+}
+
+TEST(StrategyTest, ModelTopKMatchesExhaustiveAtFractionalBudget) {
+  // The measurement IS the analytic model, so ranking the space with the
+  // model and measuring only the top-K >= stage1_keep candidates must
+  // select the exact kernel the exhaustive search selects.
+  const SearchEngine engine(DeviceId::Cayman);
+  const SearchOptions opt = small_search();
+  StrategyStats exh_st, topk_st;
+  const TunedKernel exh = run_strategy(engine, Precision::SP, opt,
+                                       {StrategyKind::Exhaustive}, &exh_st);
+  StrategySpec spec;
+  spec.kind = StrategyKind::ModelTopK;
+  spec.budget = 64;
+  const TunedKernel topk =
+      run_strategy(engine, Precision::SP, opt, spec, &topk_st);
+  EXPECT_EQ(topk.params.key(), exh.params.key());
+  EXPECT_DOUBLE_EQ(topk.best_gflops, exh.best_gflops);
+  EXPECT_EQ(topk_st.measured, 64);
+  EXPECT_EQ(topk_st.model_ranked, topk_st.space);
+  EXPECT_LT(topk_st.fraction_measured, 0.17);
+}
+
+TEST(StrategyTest, GuidedBudgetsAreRespected) {
+  const SearchEngine engine(DeviceId::Tahiti);
+  const SearchOptions opt = small_search();
+  for (StrategyKind kind :
+       {StrategyKind::ModelTopK, StrategyKind::Anneal, StrategyKind::Pso}) {
+    StrategySpec spec;
+    spec.kind = kind;
+    spec.budget = 40;
+    StrategyStats st;
+    (void)run_strategy(engine, Precision::DP, opt, spec, &st);
+    EXPECT_LE(st.measured, 40) << to_string(kind);
+    EXPECT_GT(st.measured, 0) << to_string(kind);
+    EXPECT_LE(st.fraction_measured, 0.11) << to_string(kind);
+  }
+}
+
+// --- Bit-reproducibility of the stochastic strategies ---
+
+void expect_identical(const TunedKernel& a, const TunedKernel& b,
+                      const char* what) {
+  EXPECT_EQ(a.params.key(), b.params.key()) << what;
+  EXPECT_EQ(a.best_gflops, b.best_gflops) << what;
+  EXPECT_EQ(a.best_n, b.best_n) << what;
+  EXPECT_EQ(a.curve, b.curve) << what;
+}
+
+TEST(StrategyTest, AnnealIsBitIdenticalAcrossThreadsAndRuns) {
+  const SearchEngine engine(DeviceId::Fermi);
+  StrategySpec spec;
+  spec.kind = StrategyKind::Anneal;
+  spec.budget = 96;
+  spec.seed = 42;
+  SearchOptions opt1 = small_search();
+  opt1.threads = 1;
+  SearchOptions opt8 = small_search();
+  opt8.threads = 8;
+  const TunedKernel t1 = run_strategy(engine, Precision::DP, opt1, spec);
+  const TunedKernel t8 = run_strategy(engine, Precision::DP, opt8, spec);
+  const TunedKernel t8b = run_strategy(engine, Precision::DP, opt8, spec);
+  expect_identical(t1, t8, "threads 1 vs 8");
+  expect_identical(t8, t8b, "repeated run");
+
+  // A different seed must be able to explore a different trajectory (the
+  // selected kernel may coincide, but the stats trace should not).
+  StrategySpec other = spec;
+  other.seed = 43;
+  StrategyStats sa, sb;
+  (void)run_strategy(engine, Precision::DP, opt8, spec, &sa);
+  (void)run_strategy(engine, Precision::DP, opt8, other, &sb);
+  EXPECT_NE(std::make_pair(sa.proposals, sa.measured),
+            std::make_pair(sb.proposals, sb.measured));
+}
+
+TEST(StrategyTest, PsoIsBitIdenticalAcrossThreadsAndRuns) {
+  const SearchEngine engine(DeviceId::SandyBridge);
+  StrategySpec spec;
+  spec.kind = StrategyKind::Pso;
+  spec.budget = 96;
+  spec.seed = 7;
+  spec.particles = 12;
+  SearchOptions opt1 = small_search();
+  opt1.threads = 1;
+  SearchOptions opt8 = small_search();
+  opt8.threads = 8;
+  const TunedKernel t1 = run_strategy(engine, Precision::SP, opt1, spec);
+  const TunedKernel t8 = run_strategy(engine, Precision::SP, opt8, spec);
+  const TunedKernel t8b = run_strategy(engine, Precision::SP, opt8, spec);
+  expect_identical(t1, t8, "threads 1 vs 8");
+  expect_identical(t8, t8b, "repeated run");
+}
+
+TEST(StrategyTest, ModelTopKIsDeterministicAcrossThreads) {
+  const SearchEngine engine(DeviceId::Cypress);
+  StrategySpec spec;
+  spec.kind = StrategyKind::ModelTopK;
+  spec.budget = 60;
+  SearchOptions opt1 = small_search();
+  opt1.threads = 1;
+  SearchOptions opt8 = small_search();
+  opt8.threads = 8;
+  const TunedKernel t1 = run_strategy(engine, Precision::DP, opt1, spec);
+  const TunedKernel t8 = run_strategy(engine, Precision::DP, opt8, spec);
+  expect_identical(t1, t8, "threads 1 vs 8");
+}
+
+// --- Input-aware (shape-class) search ---
+
+TEST(ShapeTest, ShapeCostMatchesEngineEstimate) {
+  // shape_cost is the single pricing function: the tuner-side numbers must
+  // be exactly what GemmEngine::estimate (serving dispatch) computes.
+  const auto id = DeviceId::Tahiti;
+  const auto params = codegen::table2_entry(id, Precision::DP).params;
+  const perfmodel::PerfModel model(id);
+  blas::GemmEngine engine(id);
+  for (const auto& [M, N, K] : {std::tuple<index_t, index_t, index_t>{
+                                    2048, 2048, 2048},
+                                {2000, 64, 2000},
+                                {48, 48, 48}}) {
+    const tuner::ShapeCost c = tuner::shape_cost(model, params, M, N, K);
+    const auto prof = engine.estimate(GemmType::NN, Precision::DP, M, N, K);
+    ASSERT_TRUE(c.ok);
+    EXPECT_DOUBLE_EQ(c.seconds, prof.total_seconds);
+    EXPECT_DOUBLE_EQ(c.gflops, prof.gflops);
+    EXPECT_EQ(c.used_direct, prof.used_direct);
+  }
+}
+
+TEST(ShapeTest, ShapeAwareTuneBeatsTheTableIIKernel) {
+  // A skinny class: the square-sweep winner is a poor fit, and the class
+  // tune must do at least as well as the Table II seed it includes.
+  const auto id = DeviceId::Tahiti;
+  const SearchEngine engine(id);
+  const perfmodel::PerfModel model(id);
+  SearchOptions opt = small_search();
+  opt.shape = shape_of(Precision::DP, 2000, 64, 2000);
+  const TunedKernel t = engine.tune(Precision::DP, opt);
+  ASSERT_TRUE(t.shape.has_value());
+  EXPECT_EQ(*t.shape, *opt.shape);
+  const auto seed = codegen::table2_entry(id, Precision::DP).params;
+  const tuner::ShapeCost seed_cost =
+      tuner::shape_cost(model, seed, opt.shape->Mc, opt.shape->Nc,
+                        opt.shape->Kc);
+  ASSERT_TRUE(seed_cost.ok);
+  EXPECT_GE(t.best_gflops, seed_cost.gflops);
+  // The class kernel's profile is the class point, not a square sweep.
+  EXPECT_EQ(t.best_n, opt.shape->Nc);
+  ASSERT_EQ(t.curve.size(), 1u);
+}
+
+TEST(ShapeTest, GuidedStrategiesCarryTheShapeClass) {
+  const SearchEngine engine(DeviceId::Cayman);
+  SearchOptions opt = small_search();
+  opt.shape = shape_of(Precision::SP, 120, 120, 1000);
+  for (StrategyKind kind :
+       {StrategyKind::ModelTopK, StrategyKind::Anneal, StrategyKind::Pso}) {
+    StrategySpec spec;
+    spec.kind = kind;
+    spec.budget = 48;
+    const TunedKernel t = run_strategy(engine, Precision::SP, opt, spec);
+    ASSERT_TRUE(t.shape.has_value()) << to_string(kind);
+    EXPECT_EQ(*t.shape, *opt.shape) << to_string(kind);
+    EXPECT_GT(t.best_gflops, 0) << to_string(kind);
+  }
+}
+
+// --- Shape-keyed TunedDatabase rows ---
+
+TEST(ResultsDbTest, ShapeKeyedRowsAreIndependent) {
+  const auto id = DeviceId::Tahiti;
+  const SearchEngine engine(id);
+  SearchOptions opt = small_search();
+  const TunedKernel classic = engine.tune(Precision::DP, opt);
+  opt.shape = shape_of(Precision::DP, 2000, 64, 2000);
+  const TunedKernel classy = engine.tune(Precision::DP, opt);
+
+  TunedDatabase db;
+  db.put(id, Precision::DP, classic);
+  db.put(id, Precision::DP, *opt.shape, classy);
+  ASSERT_TRUE(db.find(id, Precision::DP).has_value());
+  ASSERT_TRUE(db.find(id, Precision::DP, *opt.shape).has_value());
+  EXPECT_EQ(db.find(id, Precision::DP)->params.key(), classic.params.key());
+  EXPECT_EQ(db.find(id, Precision::DP, *opt.shape)->params.key(),
+            classy.params.key());
+  // A different class is a different row.
+  EXPECT_FALSE(db.find(id, Precision::DP,
+                       shape_of(Precision::DP, 64, 2000, 64))
+                   .has_value());
+}
+
+TEST(ResultsDbTest, ShapeClassSurvivesJsonRoundTrip) {
+  const auto id = DeviceId::Kepler;
+  const SearchEngine engine(id);
+  SearchOptions opt = small_search();
+  opt.shape = shape_of(Precision::SP, 256, 48, 512);
+  const TunedKernel t = engine.tune(Precision::SP, opt);
+
+  const std::string path = "strategy_test_db.json";
+  {
+    TunedDatabase db;
+    db.put(id, Precision::SP, *opt.shape, t);
+    db.save_file(path);
+  }
+  const TunedDatabase loaded = TunedDatabase::load_file(path);
+  std::remove(path.c_str());
+  const auto row = loaded.find(id, Precision::SP, *opt.shape);
+  ASSERT_TRUE(row.has_value());
+  ASSERT_TRUE(row->shape.has_value());
+  EXPECT_EQ(*row->shape, *opt.shape);
+  EXPECT_EQ(row->params.key(), t.params.key());
+  // The class-agnostic row does not exist in this database.
+  EXPECT_FALSE(loaded.find(id, Precision::SP).has_value());
+}
+
+TEST(ResultsDbTest, LegacyJsonWithoutShapeClassLoads) {
+  // Pre-shape-class databases carry no "shape_class" field; they must load
+  // as class-agnostic rows (backward compatibility satellite).
+  const auto id = DeviceId::Tahiti;
+  const SearchEngine engine(id);
+  const TunedKernel t = engine.tune(Precision::DP, small_search());
+  const std::string path = "strategy_test_legacy.json";
+  {
+    TunedDatabase db;
+    db.put(id, Precision::DP, t);
+    db.save_file(path);
+  }
+  // Strip any shape_class fields to simulate an old file (a class-agnostic
+  // save has none, so this is a pure passthrough check).
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  in.close();
+  EXPECT_EQ(ss.str().find("shape_class"), std::string::npos);
+  const TunedDatabase loaded = TunedDatabase::load_file(path);
+  std::remove(path.c_str());
+  const auto row = loaded.find(id, Precision::DP);
+  ASSERT_TRUE(row.has_value());
+  EXPECT_FALSE(row->shape.has_value());
+  EXPECT_EQ(row->params.key(), t.params.key());
+}
+
+// --- Guided serve warmup ---
+
+serve::WorkloadSpec tiny_spec() {
+  return serve::parse_spec(
+      "requests=60,seed=11,rate=3000,max_batch=8,queue=128,"
+      "devices=Tahiti+SandyBridge");
+}
+
+TEST(ServeGuidedTest, GuidedEstimatesAreNeverWorseThanTableII) {
+  const auto spec = tiny_spec();
+  const auto requests = serve::generate_workload(spec);
+
+  serve::ServeOptions classic_opt;
+  serve::GemmServer classic(spec.resolved_devices(), classic_opt);
+  classic.warmup();
+  classic.ensure_estimates(requests);
+
+  serve::ServeOptions guided_opt;
+  guided_opt.tune_strategy = "model_topk,budget=24";
+  guided_opt.tune_candidates = 300;
+  serve::GemmServer guided(spec.resolved_devices(), guided_opt);
+  guided.warmup();
+  guided.ensure_estimates(requests);
+  EXPECT_GT(guided.class_kernels(), 0u);
+
+  // Every per-class tune includes the Table II seed in its space, so the
+  // guided estimate can only match or beat the classic one.
+  ASSERT_EQ(classic.estimates().size(), guided.estimates().size());
+  bool improved = false;
+  for (const auto& [s, classic_row] : classic.estimates()) {
+    const auto& guided_row = guided.estimates_for(s);
+    ASSERT_EQ(classic_row.size(), guided_row.size());
+    for (std::size_t d = 0; d < classic_row.size(); ++d) {
+      EXPECT_GE(guided_row[d].gflops, classic_row[d].gflops * (1 - 1e-12))
+          << to_string(s) << " device " << d;
+      if (guided_row[d].gflops > classic_row[d].gflops * (1 + 1e-12))
+        improved = true;
+    }
+  }
+  EXPECT_TRUE(improved);
+}
+
+TEST(ServeGuidedTest, GuidedRunCompletesAndReportsStrategy) {
+  const auto spec = tiny_spec();
+  const auto requests = serve::generate_workload(spec);
+  serve::ServeOptions opt;
+  opt.tune_strategy = "anneal,budget=32,seed=5";
+  opt.tune_candidates = 300;
+  serve::GemmServer server(spec.resolved_devices(), opt);
+  server.warmup();
+  const auto batched = server.run(requests, spec.max_batch,
+                                  spec.queue_capacity);
+  const auto unbatched = server.run(requests, 1, spec.queue_capacity);
+  const Json report =
+      serve::build_report(spec, requests, batched, unbatched, opt);
+  EXPECT_EQ(report.at("options").at("tune_strategy").as_string(),
+            "anneal,budget=32,seed=5");
+  std::int64_t completed = 0;
+  for (const auto& r : batched.responses)
+    if (r.status == serve::RequestStatus::Completed) ++completed;
+  EXPECT_GT(completed, 0);
+}
+
+TEST(ServeGuidedTest, FreshEstimatesMatchTheWarmTable) {
+  const auto spec = tiny_spec();
+  const auto requests = serve::generate_workload(spec);
+  serve::ServeOptions opt;
+  opt.tune_strategy = "model_topk,budget=24";
+  opt.tune_candidates = 300;
+  serve::GemmServer server(spec.resolved_devices(), opt);
+  server.warmup();
+  server.ensure_estimates(requests);
+  std::vector<tuner::ShapeClass> dp_shapes;
+  for (const auto& [s, row] : server.estimates())
+    if (s.prec == Precision::DP) dp_shapes.push_back(s);
+  ASSERT_FALSE(dp_shapes.empty());
+  const auto fresh = server.fresh_estimates(0, Precision::DP, dp_shapes);
+  ASSERT_EQ(fresh.size(), dp_shapes.size());
+  for (std::size_t i = 0; i < dp_shapes.size(); ++i) {
+    const auto& row = server.estimates_for(dp_shapes[i]);
+    EXPECT_DOUBLE_EQ(fresh[i].seconds, row[0].seconds);
+    EXPECT_DOUBLE_EQ(fresh[i].gflops, row[0].gflops);
+    EXPECT_EQ(fresh[i].used_direct, row[0].used_direct);
+  }
+}
+
+TEST(ServeGuidedTest, BadStrategySpecFailsAtConstruction) {
+  serve::ServeOptions opt;
+  opt.tune_strategy = "gradient_descent";
+  EXPECT_THROW(
+      serve::GemmServer({DeviceId::Tahiti}, opt), Error);
+}
+
+}  // namespace
+}  // namespace gemmtune

@@ -36,9 +36,12 @@ CI_DB=bench/db/ci.jsonl
 # wall-clock numbers live in the (uncompared) metrics section. serve_core
 # follows the same contract: its virtual-mode differential and overload
 # accounting are exact, and the realtime >= 1.5x stress result is gated
-# as a bit with the raw wall-clock numbers in gauges.
+# as a bit with the raw wall-clock numbers in gauges. strategy_quality
+# gates the guided-search acceptance criterion (model_topk and anneal
+# match the exhaustive winner at <= 10% of its measurements) and exits
+# non-zero when a strategy regresses below the exhaustive bar.
 SMOKE="table3_impl_vs_vendor fig9_tahiti fig10_nvidia smallsize_direct \
-micro_interp micro_layout serve_core"
+micro_interp micro_layout serve_core strategy_quality"
 
 MODE=check
 case "${1:-}" in
@@ -73,7 +76,12 @@ for b in $SMOKE; do
   # The micro benches embed google-benchmark timing loops; a short
   # min_time keeps the smoke fast (their gated scalars don't depend on it).
   extra=""
-  case "$b" in micro_*) extra="--benchmark_min_time=0.05" ;; esac
+  case "$b" in
+    micro_*) extra="--benchmark_min_time=0.05" ;;
+    # Smaller space (800 candidates, budget 80 = 10%) keeps the smoke
+    # fast; the acceptance gate is identical to the full-size run.
+    strategy_quality) extra="800 80" ;;
+  esac
   "$bin" $extra --json "$OUT_DIR/$b.json" > "$OUT_DIR/$b.txt"
   reports+=("$OUT_DIR/$b.json")
   if [[ "$MODE" == "update" ]]; then
