@@ -22,6 +22,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +32,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/keyval.hpp"
 #include "common/strings.hpp"
 #include "trace/trace.hpp"
 
@@ -43,14 +45,51 @@ namespace gemmtune::ir {
 namespace {
 
 /// Bumping this invalidates every cached .so (the hash covers it).
-constexpr const char* kEmitterVersion = "gemmtune-native-emit-v1";
-/// Scalar-only FP codegen: the backend contract is byte-identical buffers
+constexpr const char* kEmitterVersion = "gemmtune-native-emit-v2";
+/// Scalar FP codegen: the backend contract is byte-identical buffers
 /// against the interpreter, and GCC's tree/SLP vectorizers can reorganize
 /// the emitted (double)(float) rounding chains at a one-ULP cost on f32
 /// kernels. Contraction is off for the same reason.
-constexpr const char* kJitFlags =
+constexpr const char* kJitFlagsScalar =
     "-std=c++17 -O2 -fPIC -shared -ffp-contract=off "
     "-fno-tree-vectorize -fno-tree-slp-vectorize";
+/// SIMD emitter path: the vector lanes are explicit in the source (with
+/// f32 rounding as per-element conversions inside the vector body), so
+/// the loop vectorizer is free to run — per-element semantics are already
+/// pinned. SLP stays off: it is the pass that reorganized scalar rounding
+/// chains at a one-ULP cost, and the explicit vectors leave it no upside.
+constexpr const char* kJitFlagsSimd =
+    "-std=c++17 -O3 -fPIC -shared -ffp-contract=off "
+    "-fno-tree-slp-vectorize";
+
+std::atomic<NativeSimd> g_simd_override{NativeSimd::Auto};
+
+/// Widest vector of doubles the host CPU runs natively; the generic
+/// 2-lane fallback still wins on baseline x86-64 (SSE2) and lets non-x86
+/// hosts use the synthesized GCC vector ops.
+int probed_simd_width() {
+#if defined(__x86_64__)
+  if (__builtin_cpu_supports("avx512f")) return 8;
+  if (__builtin_cpu_supports("avx2")) return 4;
+#endif
+  return 2;
+}
+
+/// Compiler flags for one native compile at the given emit width. The
+/// arch flag must cover the vector width the emitter baked in, and both
+/// feed the .so hash so changing either never reuses a stale object.
+std::string jit_flags_for(int simd_w) {
+  if (simd_w <= 0) return kJitFlagsScalar;
+  std::string flags = kJitFlagsSimd;
+#if defined(__x86_64__)
+  if (simd_w >= 8) {
+    flags += " -mavx512f";
+  } else if (simd_w >= 4) {
+    flags += " -mavx2";
+  }
+#endif
+  return flags;
+}
 
 std::mutex g_native_mutex;
 std::string g_cache_dir_override;   // --jit-cache-dir
@@ -84,6 +123,7 @@ std::string shq(const std::string& s) {
 
 bool probe_cxx(const std::string& cxx) {
   if (cxx.empty()) return false;
+  if (trace::enabled()) trace::counter_add("interp.toolchain_probe", 1);
   const std::string cmd = shq(cxx) + " --version >/dev/null 2>&1";
   return std::system(cmd.c_str()) == 0;
 }
@@ -112,8 +152,9 @@ const std::string& toolchain_cxx() {
   return g_probe_cxx;
 }
 
-/// FNV-1a 64 over the emitter version, JIT flags, and the kernel bytes.
-std::uint64_t jit_hash(const std::string& key) {
+/// FNV-1a 64 over the emitter version, JIT flags, and the cache key (the
+/// serialized kernel plus the SIMD-mode suffix).
+std::uint64_t jit_hash(const std::string& flags, const std::string& key) {
   std::uint64_t h = 1469598103934665603ull;
   const auto mix = [&h](const char* s, std::size_t n) {
     for (std::size_t i = 0; i < n; ++i) {
@@ -122,7 +163,7 @@ std::uint64_t jit_hash(const std::string& key) {
     }
   };
   mix(kEmitterVersion, std::strlen(kEmitterVersion));
-  mix(kJitFlags, std::strlen(kJitFlags));
+  mix(flags.data(), flags.size());
   mix(key.data(), key.size());
   return h;
 }
@@ -197,11 +238,12 @@ bool write_file(const std::string& path, const std::string& body) {
 /// temporary + rename. Returns "" on success, else the cause (with the
 /// first compiler diagnostic line when available).
 std::string run_jit_compiler(const std::string& cxx,
+                             const std::string& flags,
                              const std::string& src_path,
                              const std::string& so_path) {
   const std::string tmp_so = so_path + strf(".tmp.%d", ::getpid());
   const std::string log = tmp_so + ".log";
-  const std::string cmd = shq(cxx) + " " + kJitFlags + " -o " + shq(tmp_so) +
+  const std::string cmd = shq(cxx) + " " + flags + " -o " + shq(tmp_so) +
                           " " + shq(src_path) + " 2> " + shq(log);
   const int rc = std::system(cmd.c_str());
   std::string cause;
@@ -223,10 +265,11 @@ std::string run_jit_compiler(const std::string& cxx,
 /// Builds (or loads) the shared object for one kernel. On success returns
 /// the NativeKernel; on failure returns null with the cause in `why`.
 NativeKernelPtr jit_build(const Kernel& kernel, const std::string& key,
-                          std::string* why) {
+                          int simd_w, std::string* why) {
+  const std::string flags = jit_flags_for(simd_w);
   const std::string so_name = strf("gemmtune-%016llx.so",
                                    static_cast<unsigned long long>(
-                                       jit_hash(key)));
+                                       jit_hash(flags, key)));
   const std::string pdir = persistent_dir();
 
   // Warm start: a cached object needs no compiler at all.
@@ -261,10 +304,12 @@ NativeKernelPtr jit_build(const Kernel& kernel, const std::string& key,
   }
 
   const CompiledKernelPtr prog = get_or_compile(kernel);
-  const std::string source = emit_native_source(kernel, *prog);
+  NativeEmitOptions opts;
+  opts.simd_width = simd_w;
+  const std::string source = emit_native_source(kernel, *prog, opts);
   const std::string src_path =
       dir + strf("/gemmtune-%016llx.%d.cpp",
-                 static_cast<unsigned long long>(jit_hash(key)),
+                 static_cast<unsigned long long>(jit_hash(flags, key)),
                  ::getpid());
   if (!write_file(src_path, source)) {
     if (why != nullptr) *why = "cannot write JIT source to " + dir;
@@ -276,7 +321,7 @@ NativeKernelPtr jit_build(const Kernel& kernel, const std::string& key,
   {
     trace::Span span("interp.native_jit");
     if (trace::enabled()) trace::counter_add("interp.native_compiles", 1);
-    cause = run_jit_compiler(cxx, src_path, so_path);
+    cause = run_jit_compiler(cxx, flags, src_path, so_path);
   }
   std::remove(src_path.c_str());
   if (!cause.empty()) {
@@ -308,6 +353,27 @@ void set_jit_cache_dir(const std::string& dir) {
 
 bool native_toolchain_available() { return !toolchain_cxx().empty(); }
 
+void set_native_simd_override(NativeSimd m) {
+  g_simd_override.store(m, std::memory_order_relaxed);
+}
+
+int native_simd_width() {
+  NativeSimd m = g_simd_override.load(std::memory_order_relaxed);
+  if (m == NativeSimd::Auto) {
+    if (const char* env = std::getenv("GEMMTUNE_NATIVE_SIMD")) {
+      if (std::strcmp(env, "off") == 0) {
+        m = NativeSimd::Off;
+      } else if (std::strcmp(env, "on") == 0) {
+        m = NativeSimd::On;
+      } else {
+        fail_unknown_value("GEMMTUNE_NATIVE_SIMD", env, {"on", "off"});
+      }
+    }
+  }
+  if (m == NativeSimd::Off) return 0;
+  return probed_simd_width();
+}
+
 void reset_native_probe() {
   std::lock_guard<std::mutex> lock(g_native_mutex);
   g_probe_done = false;
@@ -316,7 +382,13 @@ void reset_native_probe() {
 
 NativeKernelPtr get_or_compile_native(const Kernel& kernel,
                                       std::string* why) {
-  const std::string key = serialize_kernel(kernel);
+  // The SIMD mode is part of the identity of a compiled object: scalar
+  // and SIMD programs for the same kernel live in separate cache slots
+  // (and separate hash-named .so files), so flipping the mode mid-process
+  // never serves a stale object.
+  const int simd_w = native_simd_width();
+  std::string key = serialize_kernel(kernel);
+  if (simd_w > 0) key += strf("#simd=w%d", simd_w);
   const NativeSlot slot = native_cache_lookup(key);
   if (slot.present) {
     if (slot.kernel) {
@@ -327,7 +399,7 @@ NativeKernelPtr get_or_compile_native(const Kernel& kernel,
     return nullptr;
   }
   std::string cause;
-  NativeKernelPtr nk = jit_build(kernel, key, &cause);
+  NativeKernelPtr nk = jit_build(kernel, key, simd_w, &cause);
   if (!nk) {
     native_cache_store(key, nullptr, true);
     if (why != nullptr) *why = cause;

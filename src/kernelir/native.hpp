@@ -71,11 +71,35 @@ class NativeKernel {
   std::string so_path_;
 };
 
+/// SIMD mode for the native emitter. Resolution precedence mirrors
+/// Backend / VmDispatch: set_native_simd_override > GEMMTUNE_NATIVE_SIMD
+/// ("on" / "off") > on. When on, the emitter prints explicit fixed-width
+/// vector lanes (GCC/Clang vector extensions) for the unmasked FP ops,
+/// with f32 rounding as per-element widen→op→narrow conversions inside
+/// the vector body, so buffers stay bit-identical to the scalar backends.
+enum class NativeSimd { Auto, Off, On };
+
+/// Process-wide SIMD override (the --native-simd flag); Auto clears it.
+void set_native_simd_override(NativeSimd m);
+
+/// Resolved vector width (in doubles) a native compile started now would
+/// emit: 0 for scalar emission, else the probed host width (8 with
+/// AVX-512F, 4 with AVX2, 2 baseline). The width is folded into both the
+/// program-cache key and the on-disk .so hash, so scalar and SIMD objects
+/// for the same kernel never collide.
+int native_simd_width();
+
+/// Options for emit_native_source(); defaults reproduce scalar emission.
+struct NativeEmitOptions {
+  int simd_width = 0;  ///< vector lanes in doubles; 0 = scalar emission
+};
+
 /// Emits the specialized C++ translation unit for one compiled kernel.
-/// Pure and deterministic (the source depends only on the program and the
-/// kernel's reqd_work_group_size / argument shapes).
+/// Pure and deterministic (the source depends only on the program, the
+/// kernel's reqd_work_group_size / argument shapes, and the options).
 std::string emit_native_source(const Kernel& kernel,
-                               const CompiledKernel& prog);
+                               const CompiledKernel& prog,
+                               const NativeEmitOptions& opts = {});
 
 /// Sets the on-disk .so cache directory (the --jit-cache-dir flag). An
 /// empty string restores the default: GEMMTUNE_JIT_CACHE if set, else a
@@ -84,7 +108,9 @@ std::string emit_native_source(const Kernel& kernel,
 void set_jit_cache_dir(const std::string& dir);
 
 /// True when a host C++ compiler answers the probe. The probe runs once
-/// and is cached; reset_native_probe() re-reads the environment (tests).
+/// per process and is cached; every probe subprocess actually spawned is
+/// counted on interp.toolchain_probe, so repeated cold compiles add
+/// nothing. reset_native_probe() re-reads the environment (tests).
 bool native_toolchain_available();
 void reset_native_probe();
 

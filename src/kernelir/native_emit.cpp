@@ -17,6 +17,15 @@
 // constants are reproduced bit-exactly from their IEEE-754 payloads, and
 // the JIT compiles with -ffp-contract=off so the host compiler cannot
 // fuse a*b+c into an fma the interpreter didn't perform.
+//
+// In SIMD mode (NativeEmitOptions::simd_width > 0) the unmasked FP ops
+// are printed as explicit fixed-width vector expressions instead of
+// unrolled scalars: lane-major slab regions flatten into chunks of the
+// host vector width, and f32 rounding becomes an element-wise
+// double->float->double __builtin_convertvector pair inside the vector
+// body — the narrowing is pinned per element, so no compiler pass can
+// re-associate it and every lane still rounds exactly like the VM.
+// Masked ops, integer ops and copies keep their scalar emission.
 #include <cinttypes>
 #include <cstdint>
 #include <cstring>
@@ -57,14 +66,25 @@ std::string cstr(const std::string& s) {
 
 class Emitter {
  public:
-  Emitter(const Kernel& k, const CompiledKernel& p) : k_(k), p_(p) {}
+  Emitter(const Kernel& k, const CompiledKernel& p, const NativeEmitOptions& o)
+      : k_(k),
+        p_(p),
+        simd_(vectorizable_width(o.simd_width) ? o.simd_width : 0) {}
 
   std::string run() {
     collect_labels();
     collect_splat_elisions();
+    collect_fusions();
+    collect_vector_widths();
     prologue();
     for (std::size_t i = 0; i < p_.code.size(); ++i) {
       if (is_target_[i]) line(strf("L%zu:;", i));
+      if (fused_skip_.count(i) != 0) continue;  // folded into the next insn
+      const auto f = fused_.find(i);
+      if (f != fused_.end()) {
+        emit_fused(p_.code[f->second], p_.code[i]);
+        continue;
+      }
       emit_insn(p_.code[i], i);
     }
     // A well-formed program ends in Halt, but guard the fall-through.
@@ -196,12 +216,180 @@ class Emitter {
     }
   }
 
+  /// Appends the f-register bases instruction `in` reads.
+  static void freg_reads(const Insn& in, std::vector<std::int32_t>* out) {
+    switch (in.op) {
+      case Op::FMov:
+      case Op::FSplat:
+      case Op::FLane:
+        out->push_back(in.a);
+        break;
+      case Op::FAdd:
+      case Op::FSub:
+      case Op::FMul:
+        out->push_back(in.a);
+        out->push_back(in.b);
+        break;
+      case Op::FMad:
+        out->push_back(in.a);
+        out->push_back(in.b);
+        out->push_back(in.c);
+        break;
+      case Op::FmaPP:
+      case Op::StoreG:
+      case Op::StoreL:
+      case Op::StoreP:
+        out->push_back(in.c);
+        break;
+      default:
+        break;
+    }
+  }
+
+  /// Finds producer/consumer pairs whose intermediate register is dead —
+  /// SplatLaneP feeding the adjacent FmaPP, and a local/private/global
+  /// load feeding the adjacent local/private store. Registers are not
+  /// observable (only buffers, counters and error text are), so when
+  /// every read of the intermediate register is one of these adjacent
+  /// consumers, the producer is folded into the consumer: the FmaPP
+  /// broadcasts the splat source directly, and the load/store pair
+  /// becomes one copy loop without the register round-trip. Fusing needs
+  /// the consumer to not be a jump target (entering mid-pair would skip
+  /// the producer). Cross-item hazards rule out same-array local copies:
+  /// the VM completes every item's load before the first store, and the
+  /// fused loop interleaves them, which only a shared overlapping range
+  /// could observe (private slabs are per-item, globals are load-only
+  /// here, and distinct arrays occupy disjoint slab ranges). SIMD mode
+  /// only — the scalar emitter stays the reference PR 6 translation.
+  void collect_fusions() {
+    if (simd_ <= 0) return;
+    std::map<std::int32_t, std::vector<std::size_t>> cand;
+    for (std::size_t i = 0; i + 1 < p_.code.size(); ++i) {
+      if (is_target_[i + 1]) continue;
+      const Insn& a = p_.code[i];
+      const Insn& b = p_.code[i + 1];
+      if (a.op == Op::SplatLaneP && b.op == Op::FmaPP && b.c == a.dst &&
+          (b.aux >> 3) == a.b && b.lanes <= a.lanes) {
+        cand[a.dst].push_back(i);
+        continue;
+      }
+      const bool a_load = a.op == Op::LoadL || a.op == Op::LoadP ||
+                          (a.op == Op::LoadG && !(a.aux & kElemF32));
+      const bool b_store = b.op == Op::StoreL || b.op == Op::StoreP;
+      if (a_load && b_store && b.c == a.dst && b.lanes == a.lanes &&
+          !(a.flags & kMasked) && !(b.flags & kMasked)) {
+        const bool a_local = a.op == Op::LoadL;
+        const bool b_local = b.op == Op::StoreL;
+        if (a_local && b_local && a.a == b.a) continue;  // may overlap
+        cand[a.dst].push_back(i);
+      }
+    }
+    for (const auto& [reg, producers] : cand) {
+      std::set<std::size_t> consumers;
+      for (const std::size_t i : producers) consumers.insert(i + 1);
+      bool dead = true;
+      for (std::size_t j = 0; j < p_.code.size() && dead; ++j) {
+        std::vector<std::int32_t> rs;
+        freg_reads(p_.code[j], &rs);
+        for (const std::int32_t r : rs)
+          if (r == reg && consumers.count(j) == 0) {
+            dead = false;
+            break;
+          }
+      }
+      if (!dead) continue;
+      for (const std::size_t i : producers) {
+        fused_skip_.insert(i);
+        fused_[i + 1] = i;
+      }
+    }
+  }
+
+  /// True when a lane count can be a GCC vector width (power of two, up
+  /// to 16 doubles — 128 bytes, which GCC synthesizes on any target).
+  static bool vectorizable_width(int w) {
+    return w == 2 || w == 4 || w == 8 || w == 16;
+  }
+
+  /// Collects the vector widths the SIMD emission will reference, so the
+  /// prologue defines exactly those typedefs/helpers: the host chunk
+  /// width for the flattened unmasked FP ops, plus each FmaPP register
+  /// width (its lanes are processed as one vector per work-item), plus
+  /// the lane counts of unmasked memory ops whose per-item copies become
+  /// one vector load/store pair (f64 only for the global ops — the f32
+  /// paths convert element widths and stay scalar).
+  void collect_vector_widths() {
+    if (simd_ <= 0) return;
+    vwidths_.insert(simd_);
+    for (const Insn& in : p_.code) {
+      if (in.op == Op::SplatLaneP && vectorizable_width(in.b))
+        vwidths_.insert(static_cast<int>(in.b));
+      if (!vectorizable_width(in.lanes)) continue;
+      switch (in.op) {
+        case Op::FmaPP:
+        case Op::SplatLaneP:
+          vwidths_.insert(static_cast<int>(in.lanes));
+          break;
+        case Op::LoadL:
+        case Op::StoreL:
+        case Op::LoadP:
+        case Op::StoreP:
+          if (!(in.flags & kMasked))
+            vwidths_.insert(static_cast<int>(in.lanes));
+          break;
+        case Op::LoadG:
+          if (!(in.flags & kMasked) && !(in.aux & kElemF32))
+            vwidths_.insert(static_cast<int>(in.lanes));
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
   // ---- prologue / epilogue --------------------------------------------------
 
   void prologue() {
-    raw("// Generated by the gemmtune native backend (emitter v1) for\n");
+    raw(strf("// Generated by the gemmtune native backend (emitter v2, "
+             "%s) for\n",
+             simd_ > 0 ? strf("simd w=%d", simd_).c_str() : "scalar"));
     raw("// kernel '" + k_.name + "'. Mirrors kernelir/vm.cpp semantics.\n");
     raw("#include <cstddef>\n#include <cstdio>\n#include <cstring>\n\n");
+    // Fixed-width vector lanes (GCC/Clang vector extensions). Loads and
+    // stores go through memcpy so the slab pointers need no alignment;
+    // rndN converts every lane double->float->double individually
+    // (__builtin_convertvector is an element-wise IEEE conversion), which
+    // is exactly the VM's (double)(float) rounding chain — no
+    // re-association is possible because the narrowing is explicit per
+    // element inside the vector body.
+    if (!vwidths_.empty()) {
+      raw("namespace {\n");
+      for (const int vw : vwidths_) {
+        raw(strf("typedef double vd%d __attribute__((vector_size(%d)));\n",
+                 vw, 8 * vw));
+        raw(strf("typedef float vs%d __attribute__((vector_size(%d)));\n",
+                 vw, 4 * vw));
+        raw(strf("inline vd%d ld%d(const double* p) "
+                 "{ vd%d v; __builtin_memcpy(&v, p, sizeof v); return v; }\n",
+                 vw, vw, vw));
+        raw(strf("inline void st%d(double* p, vd%d v) "
+                 "{ __builtin_memcpy(p, &v, sizeof v); }\n",
+                 vw, vw));
+        raw(strf("inline vd%d rnd%d(vd%d v) "
+                 "{ return __builtin_convertvector("
+                 "__builtin_convertvector(v, vs%d), vd%d); }\n",
+                 vw, vw, vw, vw, vw));
+        raw(strf("typedef long long vl%d __attribute__((vector_size(%d)));\n",
+                 vw, 8 * vw));
+        raw(strf("inline vl%d ldi%d(const long long* p) "
+                 "{ vl%d v; __builtin_memcpy(&v, p, sizeof v); return v; }\n",
+                 vw, vw, vw));
+        raw(strf("inline void sti%d(long long* p, vl%d v) "
+                 "{ __builtin_memcpy(p, &v, sizeof v); }\n",
+                 vw, vw));
+      }
+      raw("}  // namespace\n\n");
+    }
     // Bit-exact floating constant pool, materialized at dlopen time.
     if (!p_.fpool.empty()) {
       raw("namespace {\n");
@@ -416,6 +604,38 @@ class Emitter {
             expr = "(" + xa + " != 0 && " + xb + " != 0) ? 1 : 0";
             break;
         }
+        if (simd_ > 0) {
+          // Explicit vectors: integer lane arithmetic is exact, and vector
+          // compares yield 0/-1 per lane, masked down to the 0/1 the
+          // scalar ?: forms produce. Uniform operands splat once.
+          const std::string va =
+              (in.flags & kAUni) ? "uva" : strf("ldi%d(pa + t)", simd_);
+          const std::string vb =
+              (in.flags & kBUni) ? "uvb" : strf("ldi%d(pb + t)", simd_);
+          std::string vexpr;
+          switch (in.op) {
+            case Op::VAdd: vexpr = va + " + " + vb; break;
+            case Op::VSub: vexpr = va + " - " + vb; break;
+            case Op::VMul: vexpr = va + " * " + vb; break;
+            case Op::VLt: vexpr = "((" + va + " < " + vb + ") & 1)"; break;
+            default:
+              vexpr = "(((" + va + " != 0) & (" + vb + " != 0)) & 1)";
+              break;
+          }
+          if (in.flags & kAUni)
+            line(strf("  const vl%d uva = ", simd_) +
+                 splat_list("xa", simd_) + ";");
+          if (in.flags & kBUni)
+            line(strf("  const vl%d uvb = ", simd_) +
+                 splat_list("xb", simd_) + ";");
+          line("  long long t = 0;");
+          line(strf("  for (; t + %d <= NI; t += %d) sti%d(dst + t, ", simd_,
+                    simd_, simd_) +
+               vexpr + ");");
+          line("  for (; t < NI; ++t) dst[t] = " + expr + ";");
+          line("}");
+          return;
+        }
         line("  " + t_loop_open(false) + "dst[t] = " + expr + "; } }");
         return;
       }
@@ -449,11 +669,28 @@ class Emitter {
       case Op::VMovU:
         line("{ long long* const dst = " + vi_ptr(in.dst) + ";");
         line("  const long long v = " + u(in.a) + ";");
+        if (simd_ > 0 && !masked) {
+          line(strf("  const vl%d vv = ", simd_) + splat_list("v", simd_) +
+               ";");
+          line("  long long t = 0;");
+          line(strf("  for (; t + %d <= NI; t += %d) sti%d(dst + t, vv);",
+                    simd_, simd_, simd_));
+          line("  for (; t < NI; ++t) dst[t] = v;");
+          line("}");
+          return;
+        }
         line("  " + t_loop_open(masked) + "dst[t] = v; } }");
         return;
       case Op::VMov:
         line("{ long long* const dst = " + vi_ptr(in.dst) + ";");
         line("  const long long* const src = " + vi_ptr(in.a) + ";");
+        if (simd_ > 0 && !masked) {
+          // A register-to-register move is one contiguous slab copy.
+          line("  __builtin_memcpy(dst, src, sizeof(long long) * "
+               "(std::size_t)NI);");
+          line("}");
+          return;
+        }
         line("  " + t_loop_open(masked) + "dst[t] = src[t]; } }");
         return;
       case Op::FConst: {
@@ -480,6 +717,14 @@ class Emitter {
         const int dw = in.b, sw = in.c, n = in.lanes;
         line("{ double* const dst = " + vf_ptr(in.dst) + ";");
         line("  const double* const src = " + vf_ptr(in.a) + ";");
+        if (simd_ > 0 && !masked && n == dw && n == sw) {
+          // Full-width register move: one contiguous slab copy.
+          line(strf("  __builtin_memcpy(dst, src, sizeof(double) * "
+                    "(std::size_t)(%d * NI));",
+                    n));
+          line("}");
+          return;
+        }
         line("  " + t_loop_open(masked));
         for (int l = 0; l < n; ++l)
           line(strf("    dst[t * %d + %d] = src[t * %d + %d];", dw, l, sw, l));
@@ -519,6 +764,28 @@ class Emitter {
         const bool f32 = (in.aux & kRoundF32) != 0;
         const char* op = in.op == Op::FAdd ? "+" : in.op == Op::FSub ? "-"
                                                                      : "*";
+        if (simd_ > 0 && !masked) {
+          // Lane-wise over the whole register slab: lanes of consecutive
+          // work-items are contiguous (vf[base*NI + t*w + l]), so the
+          // t/l loops flatten into one run of w*NI doubles chunked at
+          // the host vector width with a scalar tail.
+          line("{ double* const dst = " + vf_ptr(in.dst) + ";");
+          line("  const double* const a = " + vf_ptr(in.a) + ";");
+          line("  const double* const b = " + vf_ptr(in.b) + ";");
+          line(strf("  const long long ne = (long long)%d * NI;", w));
+          line("  long long i = 0;");
+          line(strf("  for (; i + %d <= ne; i += %d) {", simd_, simd_));
+          const std::string ve =
+              strf("ld%d(a + i) %s ld%d(b + i)", simd_, op, simd_);
+          line(strf("    st%d(dst + i, ", simd_) +
+               (f32 ? strf("rnd%d(", simd_) + ve + ")" : ve) + ");");
+          line("  }");
+          line("  for (; i < ne; ++i) dst[i] = " +
+               rnd(f32, strf("a[i] %s b[i]", op)) + ";");
+          line(strf("  c_flops += (unsigned long long)(%d * NI);", w));
+          line("}");
+          return;
+        }
         line("{ double* const dst = " + vf_ptr(in.dst) + ";");
         line("  const double* const a = " + vf_ptr(in.a) + ";");
         line("  const double* const b = " + vf_ptr(in.b) + ";");
@@ -537,6 +804,28 @@ class Emitter {
       }
       case Op::FMad: {
         const bool f32 = (in.aux & kRoundF32) != 0;
+        if (simd_ > 0 && !masked) {
+          line("{ double* const dst = " + vf_ptr(in.dst) + ";");
+          line("  const double* const a = " + vf_ptr(in.a) + ";");
+          line("  const double* const b = " + vf_ptr(in.b) + ";");
+          line("  const double* const c = " + vf_ptr(in.c) + ";");
+          line(strf("  const long long ne = (long long)%d * NI;", w));
+          line("  long long i = 0;");
+          line(strf("  for (; i + %d <= ne; i += %d) {", simd_, simd_));
+          const std::string ve =
+              strf("ld%d(a + i) * ld%d(b + i) + ld%d(c + i)", simd_, simd_,
+                   simd_);
+          line(strf("    st%d(dst + i, ", simd_) +
+               (f32 ? strf("rnd%d(", simd_) + ve + ")" : ve) + ");");
+          line("  }");
+          line("  for (; i < ne; ++i) dst[i] = " +
+               rnd(f32, "a[i] * b[i] + c[i]") + ";");
+          line(strf("  c_flops += (unsigned long long)(%d * NI); "
+                    "c_mads += (unsigned long long)NI;",
+                    2 * w));
+          line("}");
+          return;
+        }
         line("{ double* const dst = " + vf_ptr(in.dst) + ";");
         line("  const double* const a = " + vf_ptr(in.a) + ";");
         line("  const double* const b = " + vf_ptr(in.b) + ";");
@@ -572,9 +861,19 @@ class Emitter {
         line(strf("    double* const cp = pa + %lld;", coff));
         line(strf("    const double* const bp = pa + %lld;", boff));
         line(strf("    const double* const ap = av + t * %d;", stride));
-        for (int l = 0; l < w; ++l) {
-          const std::string e = strf("ap[%d] * bp[%d] + cp[%d]", l, l, l);
-          line(strf("    cp[%d] = ", l) + rnd(f32, e) + ";");
+        if (simd_ > 0 && vectorizable_width(w)) {
+          // One vector per work-item: the register width is the vector
+          // width, so the whole rank-1 update step is a single
+          // load/fma-shaped/store sequence (unfused: contraction is off).
+          const std::string ve =
+              strf("ld%d(ap) * ld%d(bp) + ld%d(cp)", w, w, w);
+          line(strf("    st%d(cp, ", w) +
+               (f32 ? strf("rnd%d(", w) + ve + ")" : ve) + ");");
+        } else {
+          for (int l = 0; l < w; ++l) {
+            const std::string e = strf("ap[%d] * bp[%d] + cp[%d]", l, l, l);
+            line(strf("    cp[%d] = ", l) + rnd(f32, e) + ";");
+          }
         }
         line("  }");
         line(strf("  c_flops += (unsigned long long)(%d * NI); "
@@ -587,15 +886,32 @@ class Emitter {
         const ArrayRef& ar = p_.arrays[static_cast<std::size_t>(in.a)];
         const int dw = in.b;
         const long long off = ar.offset + in.imm;
+        const bool elide = splat_zero_elide_.count(in.dst) != 0;
         line("{ double* const dst = " + vf_ptr(in.dst) + ";");
         line("  " + t_loop_open(false));
         line(strf("    const double x = parr[t * %lld + %lld];",
                   static_cast<long long>(p_.parr_doubles), off));
-        for (int l = 0; l < w; ++l)
-          line(strf("    dst[t * %d + %d] = x;", dw, l));
-        if (splat_zero_elide_.count(in.dst) == 0) {
-          for (int l = w; l < dw; ++l)
-            line(strf("    dst[t * %d + %d] = 0.0;", dw, l));
+        if (simd_ > 0 && !elide && vectorizable_width(dw)) {
+          // One full-width store covers the splat lanes and the zero fill.
+          std::string init = "{";
+          for (int l = 0; l < dw; ++l) {
+            if (l) init += ", ";
+            init += l < w ? "x" : "0.0";
+          }
+          line(strf("    const vd%d vx = ", dw) + init + "};");
+          line(strf("    st%d(dst + t * %d, vx);", dw, dw));
+        } else if (simd_ > 0 && vectorizable_width(w)) {
+          line(strf("    const vd%d vx = ", w) + splat_list("x", w) + ";");
+          line(strf("    st%d(dst + t * %d, vx);", w, dw));
+          if (!elide)
+            for (int l = w; l < dw; ++l)
+              line(strf("    dst[t * %d + %d] = 0.0;", dw, l));
+        } else {
+          for (int l = 0; l < w; ++l)
+            line(strf("    dst[t * %d + %d] = x;", dw, l));
+          if (!elide)
+            for (int l = w; l < dw; ++l)
+              line(strf("    dst[t * %d + %d] = 0.0;", dw, l));
         }
         line("  } }");
         return;
@@ -614,13 +930,29 @@ class Emitter {
         } else {
           line("  double* const dst = " + vf_ptr(in.dst) + ";");
         }
+        const std::string gfails =
+            fail_stmt(cstr(strf("global %s out of range: index %%lld + %d "
+                                "lanes, buffer %%lld elements",
+                                is_store ? "store" : "load", w)),
+                      {"(long long)idx", "(long long)en"});
+        if (simd_ > 0 && !masked && !f32 && !is_store &&
+            vectorizable_width(w)) {
+          // SIMD form, f64 loads only: the destination is scratch, so the
+          // hoisted check is invisible on the failure path. Stores stay
+          // interleaved — a faulting launch must leave the user's buffer
+          // with exactly the partial stores the VM would have done.
+          emit_range_check(in, "en", gfails);
+          line("  for (long long t = 0; t < NI; ++t) {");
+          line("    const long long idx = " + addr_expr(in) + ";");
+          line(strf("    st%d(dst + t * %d, ld%d(gp + idx));", w, w, w));
+          line("  }");
+          line(strf("  c_gld += (unsigned long long)(%d * NI);", w * ebytes));
+          line("}");
+          return;
+        }
         line("  " + t_loop_open(masked));
         line("    const long long idx = " + addr_expr(in) + ";");
-        line(strf("    if (idx < 0 || idx + %d > en) ", w) +
-             fail_stmt(cstr(strf("global %s out of range: index %%lld + %d "
-                                 "lanes, buffer %%lld elements",
-                                 is_store ? "store" : "load", w)),
-                       {"(long long)idx", "(long long)en"}));
+        line(strf("    if (idx < 0 || idx + %d > en) ", w) + gfails);
         for (int l = 0; l < w; ++l) {
           if (is_store) {
             line(f32 ? strf("    gp[idx + %d] = (float)val[t * %d + %d];", l,
@@ -657,32 +989,52 @@ class Emitter {
         } else {
           line("  double* const dst = " + vf_ptr(in.dst) + ";");
         }
-        line("  " + t_loop_open(masked));
-        line("    const long long idx = " + addr_expr(in) + ";");
-        line(strf("    if (idx < 0 || idx + %d > %d) ", w, ar.len) +
-             fail_stmt(
-                 cstr(strf("%s array '%%s' %s out of range: index %%lld + %d "
-                           "lanes, %%zu elements",
-                           local ? "local" : "private",
-                           is_store ? "store" : "load", w)),
-                 {cstr(ar.name), "(long long)idx",
-                  strf("(std::size_t)%d", ar.len)}));
+        const std::string fails = fail_stmt(
+            cstr(strf("%s array '%%s' %s out of range: index %%lld + %d "
+                      "lanes, %%zu elements",
+                      local ? "local" : "private", is_store ? "store" : "load",
+                      w)),
+            {cstr(ar.name), "(long long)idx", strf("(std::size_t)%d", ar.len)});
         const std::string slab =
             local ? strf("larr + %d", ar.offset)
                   : strf("parr + t * %lld + %d",
                          static_cast<long long>(p_.parr_doubles), ar.offset);
-        line(strf("    %s* const p = (%s) + idx;",
-                  is_store ? "double" : "const double", slab.c_str()));
-        for (int l = 0; l < w; ++l) {
+        if (simd_ > 0 && !masked && vectorizable_width(w)) {
+          // SIMD form: the bounds check is hoisted out of the copy loop
+          // (constant/uniform addresses check once; varying addresses
+          // OR-reduce, with an exact scalar re-scan on the failure path so
+          // the first-faulting item's message matches the VM). The copies
+          // target scratch slabs only, so the split is invisible: a failed
+          // launch throws and every slab and counter dies with it. The
+          // branch-free copy loop is then one vector load/store per item.
+          emit_range_check(in, strf("%d", ar.len), fails);
+          line("  for (long long t = 0; t < NI; ++t) {");
+          line("    const long long idx = " + addr_expr(in) + ";");
+          line(strf("    %s* const p = (%s) + idx;",
+                    is_store ? "double" : "const double", slab.c_str()));
           if (is_store) {
-            line(strf("    ((double*)p)[%d] = val[t * %d + %d];", l, w, l));
+            line(strf("    st%d((double*)p, ld%d(val + t * %d));", w, w, w));
           } else {
-            line(strf("    dst[t * %d + %d] = p[%d];", w, l, l));
+            line(strf("    st%d(dst + t * %d, ld%d(p));", w, w, w));
           }
+          line("  }");
+        } else {
+          line("  " + t_loop_open(masked));
+          line("    const long long idx = " + addr_expr(in) + ";");
+          line(strf("    if (idx < 0 || idx + %d > %d) ", w, ar.len) + fails);
+          line(strf("    %s* const p = (%s) + idx;",
+                    is_store ? "double" : "const double", slab.c_str()));
+          for (int l = 0; l < w; ++l) {
+            if (is_store) {
+              line(strf("    ((double*)p)[%d] = val[t * %d + %d];", l, w, l));
+            } else {
+              line(strf("    dst[t * %d + %d] = p[%d];", w, l, l));
+            }
+          }
+          if (local && masked)
+            line(strf("    %s += %d;", is_store ? "c_lst" : "c_lld", bytes));
+          line("  }");
         }
-        if (local && masked)
-          line(strf("    %s += %d;", is_store ? "c_lst" : "c_lld", bytes));
-        line("  }");
         if (local && !masked)
           line(strf("  %s += (unsigned long long)(%d * NI);",
                     is_store ? "c_lst" : "c_lld", bytes));
@@ -768,33 +1120,196 @@ class Emitter {
   }
 
   /// Emits the hoisted declarations for a memory op's address operand.
-  void emit_addr(const Insn& in) {
+  void emit_addr(const Insn& in, const char* sfx = "") {
     if (in.flags & kImmAddr) return;  // constant, inlined at use
     if (in.flags & kBUni) {
-      line(strf("  const long long ua = %s;", u(in.b).c_str()));
+      line(strf("  const long long ua%s = %s;", sfx, u(in.b).c_str()));
     } else {
-      line("  const long long* const av = " + vi_ptr(in.b) + ";");
+      line(strf("  const long long* const av%s = ", sfx) + vi_ptr(in.b) +
+           ";");
     }
   }
+  /// Braced initializer splatting `x` across `n` vector lanes.
+  static std::string splat_list(const std::string& x, int n) {
+    std::string s = "{";
+    for (int i = 0; i < n; ++i) {
+      if (i) s += ", ";
+      s += x;
+    }
+    return s + "}";
+  }
+
   /// Per-item address expression matching emit_addr().
-  static std::string addr_expr(const Insn& in) {
+  static std::string addr_expr(const Insn& in, const char* sfx = "") {
     if (in.flags & kImmAddr) return imm64(in.imm);
-    if (in.flags & kBUni) return "ua";
-    return "av[t]";
+    if (in.flags & kBUni) return strf("ua%s", sfx);
+    return strf("av%s[t]", sfx);
+  }
+
+  /// Hoisted bounds check for the SIMD memory paths: constant and uniform
+  /// addresses check once before the copy loop (the compiler folds the
+  /// constant form away entirely); varying addresses OR-reduce across the
+  /// items — a branch-free loop the vectorizer handles — and re-scan
+  /// scalar only on failure, so the message names the first faulting item
+  /// exactly as the VM does.
+  void emit_range_check(const Insn& in, const std::string& len,
+                        const std::string& fails, const char* sfx = "") {
+    const int w = in.lanes;
+    if (in.flags & (kImmAddr | kBUni)) {
+      line(strf("  { const long long idx = %s;", addr_expr(in, sfx).c_str()));
+      line(strf("    if (idx < 0 || idx + %d > %s) ", w, len.c_str()) + fails);
+      line("  }");
+      return;
+    }
+    line("  { long long bad = 0;");
+    line(strf("    vl%d acc = {};", simd_));
+    line("    long long t = 0;");
+    line(strf("    for (; t + %d <= NI; t += %d) { const vl%d v_ = "
+              "ldi%d(av%s + t); acc |= (v_ < 0) | (v_ + %d > %s); }",
+              simd_, simd_, simd_, simd_, sfx, w, len.c_str()));
+    line(strf("    for (; t < NI; ++t) bad |= "
+              "(long long)(av%s[t] < 0) | (long long)(av%s[t] + %d > %s);",
+              sfx, sfx, w, len.c_str()));
+    for (int l = 0; l < simd_; ++l)
+      line(strf("    bad |= acc[%d];", l));
+    line("    if (bad) for (long long t2 = 0; t2 < NI; ++t2) {");
+    line(strf("      const long long idx = av%s[t2];", sfx));
+    line(strf("      if (idx < 0 || idx + %d > %s) ", w, len.c_str()) + fails);
+    line("    }");
+    line("  }");
+  }
+
+  void emit_fused(const Insn& prod, const Insn& cons) {
+    if (prod.op == Op::SplatLaneP) {
+      emit_fused_splat_fma(prod, cons);
+    } else {
+      emit_fused_copy(prod, cons);
+    }
+  }
+
+  /// SplatLaneP + FmaPP with a dead intermediate register: the rank-1
+  /// update broadcasts the splat source directly. Within one item the
+  /// splat read still precedes the FmaPP write, and items touch only
+  /// their own private slab, so evaluation order is unchanged.
+  void emit_fused_splat_fma(const Insn& sp, const Insn& fm) {
+    const ArrayRef& sar = p_.arrays[static_cast<std::size_t>(sp.a)];
+    const ArrayRef& cr = p_.arrays[static_cast<std::size_t>(fm.a)];
+    const ArrayRef& br = p_.arrays[static_cast<std::size_t>(fm.b)];
+    const bool f32 = (fm.aux & kRoundF32) != 0;
+    const int w = fm.lanes;
+    const long long soff = sar.offset + sp.imm;
+    const long long coff = cr.offset + fm.dst;
+    const long long boff = br.offset + fm.imm;
+    line("{ " + t_loop_open(false));
+    line(strf("    double* const pa = parr + t * %lld;",
+              static_cast<long long>(p_.parr_doubles)));
+    line(strf("    double* const cp = pa + %lld;", coff));
+    line(strf("    const double* const bp = pa + %lld;", boff));
+    line(strf("    const double x = pa[%lld];", soff));
+    if (vectorizable_width(w)) {
+      line(strf("    const vd%d vx = ", w) + splat_list("x", w) + ";");
+      const std::string ve = strf("vx * ld%d(bp) + ld%d(cp)", w, w);
+      line(strf("    st%d(cp, ", w) +
+           (f32 ? strf("rnd%d(", w) + ve + ")" : ve) + ");");
+    } else {
+      for (int l = 0; l < w; ++l)
+        line(strf("    cp[%d] = ", l) +
+             rnd(f32, strf("x * bp[%d] + cp[%d]", l, l)) + ";");
+    }
+    line("  }");
+    line(strf("  c_flops += (unsigned long long)(%d * NI); "
+              "c_mads += (unsigned long long)NI;",
+              2 * w));
+    line("}");
+  }
+
+  /// Load + store with a dead intermediate register: one copy loop with
+  /// both bounds checks hoisted (load check first — its failure message
+  /// wins, exactly the VM's execution order).
+  void emit_fused_copy(const Insn& ld, const Insn& st) {
+    const int w = ld.lanes;
+    const bool ld_g = ld.op == Op::LoadG;
+    const bool ld_local = ld.op == Op::LoadL;
+    const bool st_local = st.op == Op::StoreL;
+    line("{");
+    std::string src_base, src_len, ld_fails;
+    if (ld_g) {
+      line(strf("  const double* const gp = arg_f64[%d];", ld.a));
+      line(strf("  const long long en = arg_elems[%d];", ld.a));
+      src_base = "gp";
+      src_len = "en";
+      ld_fails =
+          fail_stmt(cstr(strf("global load out of range: index %%lld + %d "
+                              "lanes, buffer %%lld elements",
+                              w)),
+                    {"(long long)idx", "(long long)en"});
+    } else {
+      const ArrayRef& ar = p_.arrays[static_cast<std::size_t>(ld.a)];
+      src_base = ld_local ? strf("larr + %d", ar.offset)
+                          : strf("parr + t * %lld + %d",
+                                 static_cast<long long>(p_.parr_doubles),
+                                 ar.offset);
+      src_len = strf("%d", ar.len);
+      ld_fails = fail_stmt(
+          cstr(strf("%s array '%%s' load out of range: index %%lld + %d "
+                    "lanes, %%zu elements",
+                    ld_local ? "local" : "private", w)),
+          {cstr(ar.name), "(long long)idx", strf("(std::size_t)%d", ar.len)});
+    }
+    const ArrayRef& sar = p_.arrays[static_cast<std::size_t>(st.a)];
+    const std::string dst_base =
+        st_local ? strf("larr + %d", sar.offset)
+                 : strf("parr + t * %lld + %d",
+                        static_cast<long long>(p_.parr_doubles), sar.offset);
+    const std::string st_fails = fail_stmt(
+        cstr(strf("%s array '%%s' store out of range: index %%lld + %d "
+                  "lanes, %%zu elements",
+                  st_local ? "local" : "private", w)),
+        {cstr(sar.name), "(long long)idx", strf("(std::size_t)%d", sar.len)});
+    emit_addr(ld, "a");
+    emit_addr(st, "b");
+    emit_range_check(ld, src_len, ld_fails, "a");
+    emit_range_check(st, strf("%d", sar.len), st_fails, "b");
+    line("  for (long long t = 0; t < NI; ++t) {");
+    line("    const long long ia = " + addr_expr(ld, "a") + ";");
+    line("    const long long ib = " + addr_expr(st, "b") + ";");
+    line(strf("    const double* const sp_ = (%s) + ia;", src_base.c_str()));
+    line(strf("    double* const dp_ = (%s) + ib;", dst_base.c_str()));
+    if (vectorizable_width(w)) {
+      line(strf("    st%d(dp_, ld%d(sp_));", w, w));
+    } else {
+      for (int l = 0; l < w; ++l)
+        line(strf("    dp_[%d] = sp_[%d];", l, l));
+    }
+    line("  }");
+    if (ld_g)
+      line(strf("  c_gld += (unsigned long long)(%d * NI);", w * 8));
+    if (ld_local)
+      line(strf("  c_lld += (unsigned long long)(%d * NI);",
+                w * ((ld.aux & kCount8) ? 8 : 4)));
+    if (st_local)
+      line(strf("  c_lst += (unsigned long long)(%d * NI);",
+                w * ((st.aux & kCount8) ? 8 : 4)));
+    line("}");
   }
 
   const Kernel& k_;
   const CompiledKernel& p_;
+  const int simd_;               ///< vector width in doubles; 0 = scalar
   std::string out_;
   std::vector<char> is_target_;
   std::set<std::int32_t> splat_zero_elide_;
+  std::set<int> vwidths_;        ///< vector widths the prologue defines
+  std::set<std::size_t> fused_skip_;          ///< producers folded away
+  std::map<std::size_t, std::size_t> fused_;  ///< consumer -> producer
 };
 
 }  // namespace
 
 std::string emit_native_source(const Kernel& kernel,
-                               const CompiledKernel& prog) {
-  Emitter e(kernel, prog);
+                               const CompiledKernel& prog,
+                               const NativeEmitOptions& opts) {
+  Emitter e(kernel, prog, opts);
   return e.run();
 }
 

@@ -11,6 +11,16 @@
 // own VmMachine (registers, slabs, divergence mask, counters), sharing only
 // the plan, the program, and the global buffers — so buffers and counters
 // are bit-identical to the serial run at any thread count.
+//
+// Two dispatch strategies execute the same instruction set with identical
+// buffers, counters, and error messages:
+//  - "switch": the portable for(;;)-switch interpreter (every toolchain).
+//  - "threaded": classic threaded code — the program is pre-decoded once
+//    per machine into a table of computed-goto handler addresses, with hot
+//    opcodes specialized on their baked operand shapes (lane width, f32
+//    rounding, divergence masking, operand uniformity). Available on
+//    compilers with the GNU labels-as-values extension (GCC/Clang); on
+//    anything else "threaded" silently resolves to "switch".
 #pragma once
 
 #include <array>
@@ -51,6 +61,24 @@ struct LaunchPlan {
              const std::vector<ArgValue>& args);
 };
 
+/// Bytecode dispatch strategy. Resolution precedence mirrors Backend:
+/// explicit request > set_vm_dispatch_override > GEMMTUNE_VM_DISPATCH >
+/// threaded when the toolchain supports it, else switch.
+enum class VmDispatch { Auto, Switch, Threaded };
+
+/// Process-wide dispatch override (the --vm-dispatch flag); Auto clears it.
+void set_vm_dispatch_override(VmDispatch d);
+
+/// Resolves the dispatch mode a VmMachine constructed now would use.
+/// Rejects unknown GEMMTUNE_VM_DISPATCH values; a resolved Threaded is
+/// downgraded to Switch when the build lacks computed-goto support.
+VmDispatch resolve_vm_dispatch(VmDispatch requested = VmDispatch::Auto);
+
+/// True when this build carries the computed-goto executor.
+bool vm_threaded_dispatch_supported();
+
+const char* to_string(VmDispatch d);
+
 /// One bytecode execution context (registers, slabs, mask, counters); owns
 /// all mutable state, so work-group parallelism gives each worker its own
 /// VmMachine over a disjoint slice of the group space.
@@ -63,7 +91,10 @@ class VmMachine {
   Counters run_range(std::int64_t begin, std::int64_t end);
 
  private:
+  struct Ops;  // shared op bodies for the specialized threaded handlers
   void run_group(std::int64_t gx, std::int64_t gy);
+  void run_group_switch();
+  void run_group_threaded();
   std::int64_t builtin_u(int fn_dim) const;
 
   const CompiledKernel& p_;
@@ -85,6 +116,8 @@ class VmMachine {
   std::vector<MaskFrame> mask_stack_;
   int mask_depth_ = 0;
   Counters counters_;
+  bool threaded_ = false;          ///< resolved at construction
+  std::vector<const void*> tcode_; ///< pre-decoded handler addresses
 };
 
 }  // namespace gemmtune::ir

@@ -18,6 +18,7 @@
 
 #include "common/error.hpp"
 #include "common/json.hpp"
+#include "common/rng.hpp"
 #include "kernelir/compile.hpp"
 #include "kernelir/interp.hpp"
 #include "kernelir/kernel.hpp"
@@ -33,10 +34,16 @@ namespace {
 // environment knobs.
 class NativeTest : public ::testing::Test {
  protected:
-  void SetUp() override { reset_all(); }
+  void SetUp() override {
+    // The SIMD tests pin the mode through the process-wide override, so
+    // an externally-exported GEMMTUNE_NATIVE_SIMD must not leak in.
+    unsetenv("GEMMTUNE_NATIVE_SIMD");
+    reset_all();
+  }
   void TearDown() override {
     unsetenv("GEMMTUNE_JIT_CXX");
     unsetenv("GEMMTUNE_JIT_CACHE");
+    unsetenv("GEMMTUNE_NATIVE_SIMD");
     reset_all();
     trace::set_enabled(false);
   }
@@ -44,6 +51,7 @@ class NativeTest : public ::testing::Test {
     set_jit_cache_dir("");
     reset_native_probe();
     set_backend_override(Backend::Auto);
+    set_native_simd_override(NativeSimd::Auto);
     set_program_cache_max(0);
     compiled_cache_clear();
   }
@@ -209,6 +217,211 @@ TEST_F(NativeTest, FailureIsStickyPerKernel) {
   // The second call answers from the cache without re-probing.
   EXPECT_EQ(get_or_compile_native(k, &why2), nullptr);
   EXPECT_EQ(why2, "native compilation previously failed");
+}
+
+// ---- SIMD emitter: three-way differential over fuzzed shapes ---------------
+
+/// One randomized launch shape for the SIMD differential: precision,
+/// vector width, work-group geometry and loop trip count all vary.
+struct FuzzShape {
+  Scalar s = Scalar::F64;
+  int w = 2;       ///< vector lanes of the accumulator / global accesses
+  int local = 4;   ///< work-group size
+  int groups = 2;  ///< number of work-groups
+  int trip = 3;    ///< mad-loop trip count
+  std::string summary() const {
+    return std::string(s == Scalar::F64 ? "f64" : "f32") + " w=" +
+           std::to_string(w) + " local=" + std::to_string(local) +
+           " groups=" + std::to_string(groups) +
+           " trip=" + std::to_string(trip);
+  }
+};
+
+/// A kernel touching every SIMD-emitted path: local staging + barrier,
+/// private staging, the fused splat(load_private) * load_global + acc mad
+/// form, a divergent (masked) if, select, and a vector store — all at the
+/// shape's width and precision.
+Kernel fuzzed_kernel(const FuzzShape& f) {
+  const Type t1 = fp(f.s, 1);
+  const Type tw = fp(f.s, f.w);
+  KernelBuilder b("fuzz", f.s);
+  b.add_arg("out", ArgKind::GlobalPtr, f.s);
+  b.add_arg("a", ArgKind::GlobalConstPtr, f.s);
+  b.add_arg("n", ArgKind::Int, Scalar::I32);
+  b.add_arg("alpha", ArgKind::Float, f.s);
+  const int gid = b.decl_var("gid", i32());
+  const int lx = b.decl_var("lx", i32());
+  const int i = b.decl_var("i", i32());
+  const int acc = b.decl_var("acc", tw);
+  const int t = b.decl_var("t", t1);
+  const int lm = b.decl_array("Lm", f.s, f.local, AddrSpace::Local);
+  const int pa = b.decl_array("P", f.s, 2, AddrSpace::Private);
+  b.append(assign(gid, builtin(BuiltinFn::GlobalId, 0)));
+  b.append(assign(lx, builtin(BuiltinFn::LocalId, 0)));
+  b.append(store_local(lm, b.ref(lx), load_global(1, b.ref(gid), t1)));
+  b.append(barrier());
+  b.append(assign(t, load_local(lm,
+                                bin(BinOp::Mod, b.ref(lx) + 1,
+                                    iconst(f.local)),
+                                t1)));
+  b.append(store_private(pa, iconst(0), b.ref(t)));
+  b.append(assign(acc, splat(arg_ref(3, t1), f.w)));
+  b.append(for_loop(
+      i, iconst(0), arg_ref(2, i32()), iconst(1),
+      {
+          assign(acc, mad(splat(load_private(pa, iconst(0), t1), f.w),
+                          load_global(1, bin(BinOp::Mul, b.ref(gid),
+                                             iconst(f.w)),
+                                      tw),
+                          b.ref(acc))),
+          if_then(bin(BinOp::Lt, bin(BinOp::Mod, b.ref(gid), iconst(3)),
+                      iconst(1)),
+                  {assign(t, bin(BinOp::FMul, b.ref(t),
+                                 fconst(1.5, t1)))}),
+      }));
+  b.append(store_global(
+      0, bin(BinOp::Mul, b.ref(gid), iconst(f.w)),
+      select(bin(BinOp::Lt, b.ref(gid), iconst(f.groups * f.local / 2)),
+             b.ref(acc),
+             bin(BinOp::FAdd, b.ref(acc), splat(b.ref(t), f.w)))));
+  return b.build();
+}
+
+struct FuzzResult {
+  std::vector<std::uint8_t> bytes;
+  Counters counters;
+};
+
+FuzzResult run_fuzzed(const FuzzShape& f, Backend be) {
+  const Kernel k = fuzzed_kernel(f);
+  const std::size_t es = f.s == Scalar::F64 ? 8 : 4;
+  const int nitems = f.groups * f.local;
+  const std::size_t elems = static_cast<std::size_t>(nitems) *
+                            static_cast<std::size_t>(f.w);
+  auto out = std::make_shared<simcl::Buffer>(elems * es);
+  auto a = std::make_shared<simcl::Buffer>(elems * es);
+  for (std::size_t j = 0; j < elems; ++j) {
+    const double v = 0.23 * static_cast<double>(j) - 2.75;
+    if (f.s == Scalar::F64) {
+      a->as<double>()[j] = v;
+    } else {
+      a->as<float>()[j] = static_cast<float>(v);
+    }
+  }
+  const std::vector<ArgValue> args = {ArgValue::of(out), ArgValue::of(a),
+                                      ArgValue::of_int(f.trip),
+                                      ArgValue::of_float(1.25)};
+  FuzzResult r;
+  r.counters = launch_with_backend(k, {nitems, 1}, {f.local, 1}, args, 1, be);
+  for (const auto& buf : {out, a}) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(buf->data());
+    r.bytes.insert(r.bytes.end(), p, p + buf->size());
+  }
+  return r;
+}
+
+TEST_F(NativeTest, SimdDifferentialAcrossFuzzedShapes) {
+  if (!native_toolchain_available()) GTEST_SKIP() << "no host toolchain";
+  ASSERT_GT(native_simd_width(), 0) << "SIMD emission should be the default";
+  // Eight fuzzed shapes, alternating precision and cycling the vector
+  // width so every (precision, width) pair appears; geometry and trip
+  // count are drawn from the seeded stream. Buffers must come back
+  // byte-identical (ULP-exact, including f32 rounding inside the vector
+  // bodies) across bytecode, scalar-native and SIMD-native, with equal
+  // counters.
+  static const int kWidths[] = {1, 2, 4, 8};
+  static const int kLocals[] = {2, 4, 8};
+  static const int kTrips[] = {0, 1, 3, 7};
+  Rng rng(0x51D5);
+  for (int n = 0; n < 8; ++n) {
+    FuzzShape f;
+    f.s = (n % 2) != 0 ? Scalar::F32 : Scalar::F64;
+    f.w = kWidths[n % 4];
+    f.local = kLocals[rng.next_below(3)];
+    f.groups = 1 + static_cast<int>(rng.next_below(3));
+    f.trip = kTrips[rng.next_below(4)];
+    const FuzzResult byte = run_fuzzed(f, Backend::Bytecode);
+    set_native_simd_override(NativeSimd::Off);
+    const FuzzResult scalar = run_fuzzed(f, Backend::Native);
+    set_native_simd_override(NativeSimd::On);
+    const FuzzResult simd = run_fuzzed(f, Backend::Native);
+    set_native_simd_override(NativeSimd::Auto);
+    EXPECT_EQ(byte.bytes, scalar.bytes)
+        << "scalar-native divergence: " << f.summary();
+    EXPECT_EQ(byte.counters, scalar.counters)
+        << "scalar-native counter divergence: " << f.summary();
+    EXPECT_EQ(byte.bytes, simd.bytes)
+        << "SIMD-native divergence: " << f.summary();
+    EXPECT_EQ(byte.counters, simd.counters)
+        << "SIMD-native counter divergence: " << f.summary();
+  }
+}
+
+TEST_F(NativeTest, ScalarAndSimdObjectsDoNotCollide) {
+  if (!native_toolchain_available()) GTEST_SKIP() << "no host toolchain";
+  ASSERT_GT(native_simd_width(), 0);
+  const std::string dir = make_temp_dir();
+  set_jit_cache_dir(dir);
+  set_native_simd_override(NativeSimd::Off);
+  const std::vector<double> off = run_salted(31, Backend::Native);
+  EXPECT_EQ(count_shared_objects(dir), 1);
+  // Flipping the mode mid-process must compile a second object (separate
+  // hash), not serve the scalar one from either cache layer.
+  compiled_cache_clear();
+  set_native_simd_override(NativeSimd::On);
+  const std::vector<double> on = run_salted(31, Backend::Native);
+  EXPECT_EQ(count_shared_objects(dir), 2);
+  EXPECT_EQ(off, on);
+}
+
+TEST_F(NativeTest, SimdResolutionPrecedence) {
+  // Environment: on / off.
+  setenv("GEMMTUNE_NATIVE_SIMD", "off", 1);
+  EXPECT_EQ(native_simd_width(), 0);
+  setenv("GEMMTUNE_NATIVE_SIMD", "on", 1);
+  EXPECT_GT(native_simd_width(), 0);
+  // The process-wide override (the --native-simd flag) beats it.
+  setenv("GEMMTUNE_NATIVE_SIMD", "on", 1);
+  set_native_simd_override(NativeSimd::Off);
+  EXPECT_EQ(native_simd_width(), 0);
+  setenv("GEMMTUNE_NATIVE_SIMD", "off", 1);
+  set_native_simd_override(NativeSimd::On);
+  EXPECT_GT(native_simd_width(), 0);
+  // Unknown values are rejected, not guessed at.
+  setenv("GEMMTUNE_NATIVE_SIMD", "nonsense", 1);
+  set_native_simd_override(NativeSimd::Auto);
+  try {
+    native_simd_width();
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("GEMMTUNE_NATIVE_SIMD: unknown value 'nonsense' "
+                        "(use on, off)"),
+              std::string::npos)
+        << what;
+  }
+  unsetenv("GEMMTUNE_NATIVE_SIMD");
+}
+
+// ---- toolchain probe caching -----------------------------------------------
+
+TEST_F(NativeTest, ToolchainProbeIsCachedProcessWide) {
+  if (!native_toolchain_available()) GTEST_SKIP() << "no host toolchain";
+  trace::reset();
+  trace::set_enabled(true);
+  reset_native_probe();
+  run_salted(21, Backend::Native);
+  const std::uint64_t probes = trace_counter("interp.toolchain_probe");
+  EXPECT_GE(probes, 1u);
+  // Three more cold compiles (fresh program cache, fresh disk cache, so
+  // the compiler genuinely runs each time) must not probe again.
+  for (int salt = 22; salt <= 24; ++salt) {
+    compiled_cache_clear();
+    set_jit_cache_dir(make_temp_dir());
+    run_salted(salt, Backend::Native);
+  }
+  EXPECT_GE(trace_counter("interp.native_compiles"), 3u);
+  EXPECT_EQ(trace_counter("interp.toolchain_probe"), probes);
 }
 
 // ---- LRU-bounded program cache ---------------------------------------------

@@ -3,8 +3,7 @@
 # reproduction benches, emit their machine-readable result files, ingest
 # every report into a scratch bench-db, and gate them against the
 # checked-in baselines in bench/baselines/ with `gemmtune bench-db
-# compare` (which replaced tools/compare_bench.py). CI runs this as its
-# third job.
+# compare`. CI runs this as its third job.
 #
 # Usage: tools/bench_smoke.sh [--update | --reseed-db]
 #   --update     regenerate bench/baselines/ from the current build
